@@ -1,0 +1,236 @@
+//! MissMap-style vault miss predictor (Sec. V-C).
+//!
+//! The TAD organization of SILO's DRAM cache discovers misses only after
+//! the DRAM access completes. A MissMap (Loh & Hill, MICRO'11) tracks the
+//! presence of lines at page granularity in on-chip SRAM so that known
+//! misses skip the DRAM access entirely.
+//!
+//! The unbounded variant is exact and therefore models the paper's
+//! *ideal* predictor (0 latency, 100% accuracy, Sec. VII-B). A bounded
+//! variant drops the least-recently-touched page's bitmap when full,
+//! after which lines of that page conservatively predict "present"
+//! (a wrong "present" costs a DRAM access, never correctness).
+
+use silo_types::{LineAddr, LINE_SIZE};
+use std::collections::HashMap;
+
+/// Page-granular line-presence map.
+#[derive(Clone, Debug)]
+pub struct MissMap {
+    page_bytes: usize,
+    lines_per_page: u64,
+    capacity_pages: Option<usize>,
+    /// page -> (presence bitmap chunks, recency stamp).
+    pages: HashMap<u64, (Vec<u64>, u64)>,
+    tick: u64,
+    predicted_misses: u64,
+    predicted_present: u64,
+    unknown: u64,
+}
+
+impl MissMap {
+    /// Creates an exact (unbounded) miss map over `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power-of-two multiple of the line
+    /// size.
+    pub fn new_ideal(page_bytes: usize) -> Self {
+        Self::with_capacity(page_bytes, None)
+    }
+
+    /// Creates a bounded miss map tracking at most `capacity_pages` pages.
+    pub fn new_bounded(page_bytes: usize, capacity_pages: usize) -> Self {
+        Self::with_capacity(page_bytes, Some(capacity_pages))
+    }
+
+    fn with_capacity(page_bytes: usize, capacity_pages: Option<usize>) -> Self {
+        assert!(
+            page_bytes >= LINE_SIZE && page_bytes.is_power_of_two(),
+            "page size must be a power of two of at least one line"
+        );
+        if let Some(c) = capacity_pages {
+            assert!(c > 0, "bounded miss map needs capacity");
+        }
+        MissMap {
+            page_bytes,
+            lines_per_page: (page_bytes / LINE_SIZE) as u64,
+            capacity_pages,
+            pages: HashMap::new(),
+            tick: 0,
+            predicted_misses: 0,
+            predicted_present: 0,
+            unknown: 0,
+        }
+    }
+
+    fn locate(&self, line: LineAddr) -> (u64, usize, u64) {
+        let page = line.page(self.page_bytes);
+        let offset = line.as_u64() % self.lines_per_page;
+        ((page), (offset / 64) as usize, 1u64 << (offset % 64))
+    }
+
+    /// Records that `line` is now resident in the vault.
+    pub fn mark_present(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (page, chunk, bit) = self.locate(line);
+        let chunks = (self.lines_per_page as usize).div_ceil(64);
+        if !self.pages.contains_key(&page) {
+            self.maybe_evict();
+            self.pages.insert(page, (vec![0u64; chunks], tick));
+        }
+        let entry = self.pages.get_mut(&page).expect("just inserted");
+        entry.0[chunk] |= bit;
+        entry.1 = tick;
+    }
+
+    /// Records that `line` left the vault.
+    pub fn mark_absent(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (page, chunk, bit) = self.locate(line);
+        if let Some(entry) = self.pages.get_mut(&page) {
+            entry.0[chunk] &= !bit;
+            entry.1 = tick;
+            if entry.0.iter().all(|&c| c == 0) {
+                self.pages.remove(&page);
+            }
+        }
+    }
+
+    /// Predicts whether `line` is resident. `false` means *definitely
+    /// absent* (safe to skip the DRAM access); `true` means present or
+    /// unknown.
+    pub fn predict_present(&mut self, line: LineAddr) -> bool {
+        let (page, chunk, bit) = self.locate(line);
+        match self.pages.get(&page) {
+            Some(entry) => {
+                if entry.0[chunk] & bit != 0 {
+                    self.predicted_present += 1;
+                    true
+                } else {
+                    self.predicted_misses += 1;
+                    false
+                }
+            }
+            None => {
+                if self.capacity_pages.is_some() {
+                    // Page bitmap may have been dropped: unknown, so be
+                    // conservative and probe the DRAM.
+                    self.unknown += 1;
+                    true
+                } else {
+                    self.predicted_misses += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    fn maybe_evict(&mut self) {
+        if let Some(cap) = self.capacity_pages {
+            while self.pages.len() >= cap {
+                let victim = self
+                    .pages
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(&p, _)| p)
+                    .expect("non-empty map over capacity");
+                self.pages.remove(&victim);
+            }
+        }
+    }
+
+    /// Pages currently tracked.
+    pub fn tracked_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of "definitely absent" predictions issued.
+    pub fn predicted_misses(&self) -> u64 {
+        self.predicted_misses
+    }
+
+    /// Number of "present" predictions issued.
+    pub fn predicted_present(&self) -> u64 {
+        self.predicted_present
+    }
+
+    /// Number of conservative "unknown -> probe" outcomes (bounded maps
+    /// only).
+    pub fn unknown_predictions(&self) -> u64 {
+        self.unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_map_is_exact() {
+        let mut mm = MissMap::new_ideal(4096);
+        let line = LineAddr::new(100);
+        assert!(!mm.predict_present(line));
+        mm.mark_present(line);
+        assert!(mm.predict_present(line));
+        mm.mark_absent(line);
+        assert!(!mm.predict_present(line));
+    }
+
+    #[test]
+    fn different_lines_in_page_are_independent() {
+        let mut mm = MissMap::new_ideal(4096);
+        mm.mark_present(LineAddr::new(0));
+        assert!(mm.predict_present(LineAddr::new(0)));
+        assert!(!mm.predict_present(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn empty_pages_are_garbage_collected() {
+        let mut mm = MissMap::new_ideal(4096);
+        mm.mark_present(LineAddr::new(7));
+        assert_eq!(mm.tracked_pages(), 1);
+        mm.mark_absent(LineAddr::new(7));
+        assert_eq!(mm.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn bounded_map_predicts_conservatively_after_drop() {
+        let mut mm = MissMap::new_bounded(4096, 2);
+        // Three pages; capacity two, so the oldest gets dropped.
+        mm.mark_present(LineAddr::new(0)); // page 0
+        mm.mark_present(LineAddr::new(64)); // page 1
+        mm.mark_present(LineAddr::new(128)); // page 2 -> drops page 0
+        assert_eq!(mm.tracked_pages(), 2);
+        // Page 0 unknown: must answer "present" (probe DRAM).
+        assert!(mm.predict_present(LineAddr::new(0)));
+        assert_eq!(mm.unknown_predictions(), 1);
+    }
+
+    #[test]
+    fn statistics_count_prediction_kinds() {
+        let mut mm = MissMap::new_ideal(4096);
+        mm.mark_present(LineAddr::new(3));
+        mm.predict_present(LineAddr::new(3));
+        mm.predict_present(LineAddr::new(9));
+        assert_eq!(mm.predicted_present(), 1);
+        assert_eq!(mm.predicted_misses(), 1);
+    }
+
+    #[test]
+    fn wide_pages_use_multiple_chunks() {
+        // 8 KiB page = 128 lines = 2 chunks.
+        let mut mm = MissMap::new_ideal(8192);
+        mm.mark_present(LineAddr::new(127));
+        assert!(mm.predict_present(LineAddr::new(127)));
+        assert!(!mm.predict_present(LineAddr::new(63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_page_size() {
+        MissMap::new_ideal(3000);
+    }
+}

@@ -1,0 +1,197 @@
+//! Page-based conventional DRAM cache (the `Baseline+DRAM$` system).
+//!
+//! The paper's conventional DRAM cache comparison point (Sec. VI-A) is an
+//! 8 GB hardware-managed, page-based, direct-mapped cache in commodity
+//! die-stacked DRAM, in the style of Footprint/Unison caches. Allocation
+//! and lookup happen at page granularity; the paper further assumes
+//! perfect miss prediction, which the simulator models by skipping the
+//! DRAM access latency on a predicted miss.
+
+use silo_types::{ByteSize, LineAddr};
+use std::collections::HashMap;
+
+/// A direct-mapped, page-granular cache.
+///
+/// # Examples
+///
+/// ```
+/// use silo_cache::PageCache;
+/// use silo_types::{ByteSize, LineAddr};
+///
+/// let mut dc = PageCache::new(ByteSize::from_gib(8), 4096);
+/// let line = LineAddr::new(12345);
+/// assert!(!dc.access(line));   // cold miss allocates the page
+/// assert!(dc.access(line));    // now a hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageCache {
+    page_bytes: usize,
+    n_frames: u64,
+    /// frame index -> resident page tag.
+    frames: HashMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PageCache {
+    /// Creates a page cache of the given capacity and page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power-of-two multiple of the line
+    /// size, or the capacity holds no pages, or the frame count is not a
+    /// power of two.
+    pub fn new(capacity: ByteSize, page_bytes: usize) -> Self {
+        let n_frames = capacity.as_bytes() / page_bytes as u64;
+        assert!(n_frames > 0, "capacity smaller than one page");
+        assert!(
+            n_frames.is_power_of_two(),
+            "frame count must be a power of two"
+        );
+        PageCache {
+            page_bytes,
+            n_frames,
+            frames: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Number of page frames.
+    pub fn frames(&self) -> u64 {
+        self.n_frames
+    }
+
+    /// Accesses a line: returns `true` on a page hit. On a miss the
+    /// containing page is allocated (direct-mapped), evicting any
+    /// conflicting page.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        let page = line.page(self.page_bytes);
+        let frame = page & (self.n_frames - 1);
+        match self.frames.get(&frame) {
+            Some(&resident) if resident == page => {
+                self.hits += 1;
+                true
+            }
+            Some(_) => {
+                self.evictions += 1;
+                self.frames.insert(frame, page);
+                self.misses += 1;
+                false
+            }
+            None => {
+                self.frames.insert(frame, page);
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// True if the line's page is resident, with no side effects.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let page = line.page(self.page_bytes);
+        let frame = page & (self.n_frames - 1);
+        self.frames.get(&frame) == Some(&page)
+    }
+
+    /// Hits recorded by [`access`](Self::access).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`access`](Self::access).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Pages displaced by conflicting allocations.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resets statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PageCache {
+        // 4 frames of 4 KiB.
+        PageCache::new(ByteSize::from_kib(16), 4096)
+    }
+
+    #[test]
+    fn page_hit_after_allocation() {
+        let mut pc = small();
+        let line = LineAddr::new(5);
+        assert!(!pc.access(line));
+        // Another line in the same 4 KiB page (lines 0..63) hits.
+        assert!(pc.access(LineAddr::new(60)));
+        assert_eq!(pc.hits(), 1);
+        assert_eq!(pc.misses(), 1);
+    }
+
+    #[test]
+    fn conflicting_pages_evict() {
+        let mut pc = small();
+        // Page 0 and page 4 share frame 0 (4 frames).
+        assert!(!pc.access(LineAddr::new(0)));
+        assert!(!pc.access(LineAddr::new(4 * 64)));
+        assert_eq!(pc.evictions(), 1);
+        assert!(!pc.contains(LineAddr::new(0)));
+        assert!(pc.contains(LineAddr::new(4 * 64)));
+    }
+
+    #[test]
+    fn distinct_frames_coexist() {
+        let mut pc = small();
+        for p in 0..4u64 {
+            pc.access(LineAddr::new(p * 64));
+        }
+        for p in 0..4u64 {
+            assert!(pc.contains(LineAddr::new(p * 64)), "page {p} missing");
+        }
+        assert_eq!(pc.evictions(), 0);
+    }
+
+    #[test]
+    fn contains_has_no_side_effects() {
+        let pc = small();
+        assert!(!pc.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut pc = small();
+        pc.access(LineAddr::new(0));
+        pc.reset_stats();
+        assert_eq!(pc.misses(), 0);
+        assert!(pc.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let pc = PageCache::new(ByteSize::from_gib(8), 4096);
+        assert_eq!(pc.page_bytes(), 4096);
+        assert_eq!(pc.frames(), 8 * 1024 * 1024 * 1024 / 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity smaller than one page")]
+    fn rejects_tiny_capacity() {
+        PageCache::new(ByteSize::from_bytes(64), 4096);
+    }
+}

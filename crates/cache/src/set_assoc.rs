@@ -1,0 +1,421 @@
+//! Sparse set-associative cache array with pluggable replacement.
+//!
+//! The array stores an arbitrary payload per resident line (coherence
+//! state, dirty bit, ...). Sets are allocated lazily in a hash map so that
+//! multi-hundred-MB caches cost memory proportional to the lines actually
+//! touched, which is what makes full-capacity vault simulation cheap.
+
+use silo_types::{ByteSize, LineAddr};
+use std::collections::HashMap;
+
+/// Replacement policy for a set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the paper's baseline LLC policy, Table II).
+    #[default]
+    Lru,
+    /// Pseudo-random (deterministic, hash-of-line based).
+    Random,
+}
+
+/// A line evicted by an insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictionVictim<P> {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// The payload it carried.
+    pub payload: P,
+}
+
+#[derive(Clone, Debug)]
+struct Way<P> {
+    line: LineAddr,
+    payload: P,
+    /// Recency stamp; larger is more recent.
+    stamp: u64,
+}
+
+/// A set-associative cache keyed by [`LineAddr`] with payload `P`.
+///
+/// With `ways == 1` this degenerates to the direct-mapped organization
+/// SILO uses for its DRAM cache vaults (Sec. V-A).
+///
+/// # Examples
+///
+/// ```
+/// use silo_cache::{ReplacementPolicy, SetAssocCache};
+/// use silo_types::{ByteSize, LineAddr};
+///
+/// let mut l1: SetAssocCache<()> =
+///     SetAssocCache::with_capacity(ByteSize::from_kib(64), 8, ReplacementPolicy::Lru);
+/// assert!(l1.get(LineAddr::new(42)).is_none());
+/// l1.insert(LineAddr::new(42), ());
+/// assert!(l1.get(LineAddr::new(42)).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache<P> {
+    sets: u64,
+    ways: usize,
+    policy: ReplacementPolicy,
+    table: HashMap<u64, Vec<Way<P>>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<P> SetAssocCache<P> {
+    /// Creates a cache with an explicit set count and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: u64, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        SetAssocCache {
+            sets,
+            ways,
+            policy,
+            table: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a cache sized for `capacity` with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied set count is not a power of two (capacities
+    /// and associativities in this workspace are powers of two) or if the
+    /// capacity is smaller than one line per way.
+    pub fn with_capacity(capacity: ByteSize, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(ways > 0, "need at least one way");
+        let lines = capacity.lines();
+        assert!(
+            lines >= ways as u64,
+            "capacity {capacity} too small for {ways} ways"
+        );
+        let sets = lines / ways as u64;
+        Self::new(sets, ways, policy)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> u64 {
+        self.sets * self.ways as u64
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Set index of a line (low-order bits, as in a real indexed array).
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        line.as_u64() & (self.sets - 1)
+    }
+
+    /// Looks up a line, updating recency on hit. Counts hit/miss stats.
+    pub fn get(&mut self, line: LineAddr) -> Option<&mut P> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        match self.table.get_mut(&set) {
+            Some(ways) => match ways.iter_mut().find(|w| w.line == line) {
+                Some(w) => {
+                    w.stamp = tick;
+                    self.hits += 1;
+                    Some(&mut w.payload)
+                }
+                None => {
+                    self.misses += 1;
+                    None
+                }
+            },
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a line without touching recency or statistics.
+    pub fn peek(&self, line: LineAddr) -> Option<&P> {
+        let set = self.set_of(line);
+        self.table
+            .get(&set)?
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.payload)
+    }
+
+    /// Mutable lookup without touching recency or statistics.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut P> {
+        let set = self.set_of(line);
+        self.table
+            .get_mut(&set)?
+            .iter_mut()
+            .find(|w| w.line == line)
+            .map(|w| &mut w.payload)
+    }
+
+    /// True when the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line, returning the victim if the set was full.
+    ///
+    /// If the line is already resident its payload is replaced and recency
+    /// refreshed; no eviction happens.
+    pub fn insert(&mut self, line: LineAddr, payload: P) -> Option<EvictionVictim<P>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let ways = self.table.entry(set).or_default();
+
+        if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
+            w.payload = payload;
+            w.stamp = tick;
+            return None;
+        }
+
+        if ways.len() < self.ways {
+            ways.push(Way {
+                line,
+                payload,
+                stamp: tick,
+            });
+            return None;
+        }
+
+        let victim_idx = match self.policy {
+            ReplacementPolicy::Lru => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("set is full, so non-empty"),
+            ReplacementPolicy::Random => (line.scramble() ^ tick) as usize % ways.len(),
+        };
+        let old = std::mem::replace(
+            &mut ways[victim_idx],
+            Way {
+                line,
+                payload,
+                stamp: tick,
+            },
+        );
+        self.evictions += 1;
+        Some(EvictionVictim {
+            line: old.line,
+            payload: old.payload,
+        })
+    }
+
+    /// Removes a line, returning its payload.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<P> {
+        let set = self.set_of(line);
+        let ways = self.table.get_mut(&set)?;
+        let idx = ways.iter().position(|w| w.line == line)?;
+        let w = ways.swap_remove(idx);
+        if ways.is_empty() {
+            self.table.remove(&set);
+        }
+        Some(w.payload)
+    }
+
+    /// Iterates over all resident (line, payload) pairs in arbitrary
+    /// order; used by invariant checks and warm-state inspection.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &P)> {
+        self.table
+            .values()
+            .flat_map(|ways| ways.iter().map(|w| (w.line, &w.payload)))
+    }
+
+    /// Hits recorded by [`get`](Self::get).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`get`](Self::get).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions caused by [`insert`](Self::insert).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resets hit/miss/eviction statistics, keeping contents (used at the
+    /// warmup/measurement boundary).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+
+    /// Drops all contents and statistics.
+    pub fn clear(&mut self) {
+        self.table.clear();
+        self.tick = 0;
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> SetAssocCache<u32> {
+        // 4 sets.
+        SetAssocCache::new(4, ways, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny(2);
+        assert!(c.get(LineAddr::new(5)).is_none());
+        c.insert(LineAddr::new(5), 7);
+        assert_eq!(c.get(LineAddr::new(5)), Some(&mut 7));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2);
+        // Lines 0, 4, 8 all map to set 0.
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        // Touch 0 so 4 becomes LRU.
+        c.get(LineAddr::new(0));
+        let victim = c.insert(LineAddr::new(8), 8).expect("eviction");
+        assert_eq!(victim.line, LineAddr::new(4));
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(8)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(4, 1, ReplacementPolicy::Lru);
+        c.insert(LineAddr::new(1), ());
+        let v = c.insert(LineAddr::new(5), ()).expect("conflict eviction");
+        assert_eq!(v.line, LineAddr::new(1));
+        assert!(!c.contains(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_eviction() {
+        let mut c = tiny(2);
+        c.insert(LineAddr::new(3), 1);
+        assert!(c.insert(LineAddr::new(3), 9).is_none());
+        assert_eq!(c.peek(LineAddr::new(3)), Some(&9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(2);
+        c.insert(LineAddr::new(3), 1);
+        assert_eq!(c.invalidate(LineAddr::new(3)), Some(1));
+        assert!(!c.contains(LineAddr::new(3)));
+        assert_eq!(c.invalidate(LineAddr::new(3)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_stats() {
+        let mut c = tiny(2);
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(4), 4);
+        // Peek 0; 0 stays LRU because peek must not refresh recency.
+        assert_eq!(c.peek(LineAddr::new(0)), Some(&0));
+        let victim = c.insert(LineAddr::new(8), 8).expect("eviction");
+        assert_eq!(victim.line, LineAddr::new(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn with_capacity_sizes_correctly() {
+        let c: SetAssocCache<()> = SetAssocCache::with_capacity(
+            ByteSize::from_kib(64),
+            8,
+            ReplacementPolicy::Lru,
+        );
+        assert_eq!(c.capacity_lines(), 1024);
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        SetAssocCache::<()>::new(3, 1, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn random_policy_fills_before_evicting() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(1, 4, ReplacementPolicy::Random);
+        for i in 0..4 {
+            assert!(c.insert(LineAddr::new(i), ()).is_none());
+        }
+        assert!(c.insert(LineAddr::new(99), ()).is_some());
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn iter_visits_all_lines() {
+        let mut c = tiny(4);
+        for i in 0..8 {
+            c.insert(LineAddr::new(i), i as u32);
+        }
+        let mut lines: Vec<u64> = c.iter().map(|(l, _)| l.as_u64()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let mut c = tiny(2);
+        c.insert(LineAddr::new(1), 1);
+        c.get(LineAddr::new(1));
+        c.get(LineAddr::new(2));
+        c.reset_stats();
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(c.contains(LineAddr::new(1)), "reset_stats keeps contents");
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_mut_allows_payload_update() {
+        let mut c = tiny(2);
+        c.insert(LineAddr::new(1), 1);
+        *c.peek_mut(LineAddr::new(1)).unwrap() = 5;
+        assert_eq!(c.peek(LineAddr::new(1)), Some(&5));
+        assert!(c.peek_mut(LineAddr::new(2)).is_none());
+    }
+}

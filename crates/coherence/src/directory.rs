@@ -1,0 +1,283 @@
+//! Duplicate-tag directory (Sec. V-B, Fig. 9).
+//!
+//! The directory is logically an N-way-associative tag store where N is
+//! the core count: the way position of an entry encodes which core's
+//! vault caches the block, so no sharing vector is needed. Finding the
+//! sharers of a block reads all N ways; most updates touch one entry, but
+//! a full-set transition (e.g. a block shared by every core moving to
+//! exclusive) touches N.
+//!
+//! Physically the directory is distributed across the vaults in an
+//! address-interleaved fashion; this structure is the *functional*
+//! content, and the engine emits `DirLookup`/`DirUpdate` steps against the
+//! home node so the simulator charges the DRAM accesses.
+
+use crate::state::State;
+use silo_types::LineAddr;
+use std::collections::HashMap;
+
+/// The functional duplicate-tag directory: per line, one coherence state
+/// per node (way position = node id).
+#[derive(Clone, Debug)]
+pub struct DuplicateTagDirectory {
+    n_nodes: usize,
+    entries: HashMap<LineAddr, Vec<State>>,
+    lookups: u64,
+    updates: u64,
+}
+
+impl DuplicateTagDirectory {
+    /// Creates a directory for `n_nodes` vaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero or exceeds 64 (sharer masks are u64).
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(
+            (1..=64).contains(&n_nodes),
+            "node count {n_nodes} outside [1, 64]"
+        );
+        DuplicateTagDirectory {
+            n_nodes,
+            entries: HashMap::new(),
+            lookups: 0,
+            updates: 0,
+        }
+    }
+
+    /// Number of nodes (directory ways).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// State of `line` at `node`.
+    pub fn state_of(&self, line: LineAddr, node: usize) -> State {
+        self.entries
+            .get(&line)
+            .map_or(State::I, |states| states[node])
+    }
+
+    /// Records a directory lookup (sharer scan) and returns the full
+    /// per-node state vector (I for absent).
+    pub fn lookup(&mut self, line: LineAddr) -> Vec<State> {
+        self.lookups += 1;
+        self.entries
+            .get(&line)
+            .cloned()
+            .unwrap_or_else(|| vec![State::I; self.n_nodes])
+    }
+
+    /// Sets the state of `line` at `node`, creating or garbage-collecting
+    /// the entry as needed. Returns the previous state.
+    pub fn set_state(&mut self, line: LineAddr, node: usize, state: State) -> State {
+        assert!(node < self.n_nodes, "node {node} out of range");
+        self.updates += 1;
+        match self.entries.get_mut(&line) {
+            Some(states) => {
+                let prev = states[node];
+                states[node] = state;
+                if states.iter().all(|s| !s.is_valid()) {
+                    self.entries.remove(&line);
+                }
+                prev
+            }
+            None => {
+                if state.is_valid() {
+                    let mut states = vec![State::I; self.n_nodes];
+                    states[node] = state;
+                    self.entries.insert(line, states);
+                }
+                State::I
+            }
+        }
+    }
+
+    /// The node holding the line in an owner-like state (M, O, or E), if
+    /// any. At most one such node exists (protocol invariant).
+    pub fn owner(&self, line: LineAddr) -> Option<usize> {
+        let states = self.entries.get(&line)?;
+        states.iter().position(|s| s.is_ownerlike())
+    }
+
+    /// Bitmask of nodes holding the line in any valid state.
+    pub fn holders_mask(&self, line: LineAddr) -> u64 {
+        match self.entries.get(&line) {
+            None => 0,
+            Some(states) => states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_valid())
+                .fold(0u64, |m, (i, _)| m | (1 << i)),
+        }
+    }
+
+    /// Lowest-numbered node holding the line in any valid state,
+    /// excluding `except`.
+    pub fn first_holder_except(&self, line: LineAddr, except: usize) -> Option<usize> {
+        let states = self.entries.get(&line)?;
+        states
+            .iter()
+            .enumerate()
+            .find(|(i, s)| *i != except && s.is_valid())
+            .map(|(i, _)| i)
+    }
+
+    /// True when no node caches the line.
+    pub fn is_uncached(&self, line: LineAddr) -> bool {
+        !self.entries.contains_key(&line)
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup operations performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Update operations performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Checks the MOESI single-writer invariants for every tracked line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant:
+    /// * at most one node in an owner-like state (M/O/E);
+    /// * M and E never coexist with any other valid copy;
+    /// * no fully-invalid entries survive (garbage collection).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, states) in &self.entries {
+            let ownerlike = states.iter().filter(|s| s.is_ownerlike()).count();
+            if ownerlike > 1 {
+                return Err(format!("{line}: {ownerlike} owner-like copies"));
+            }
+            let valid = states.iter().filter(|s| s.is_valid()).count();
+            if valid == 0 {
+                return Err(format!("{line}: empty entry not collected"));
+            }
+            let exclusive = states
+                .iter()
+                .any(|s| matches!(s, State::M | State::E));
+            if exclusive && valid > 1 {
+                return Err(format!("{line}: M/E coexists with other copies"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over tracked lines and their state vectors.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &[State])> {
+        self.entries.iter().map(|(l, s)| (*l, s.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_lines_are_invalid_everywhere() {
+        let mut d = DuplicateTagDirectory::new(4);
+        assert_eq!(d.state_of(LineAddr::new(1), 0), State::I);
+        assert!(d.is_uncached(LineAddr::new(1)));
+        assert_eq!(d.lookup(LineAddr::new(1)), vec![State::I; 4]);
+        assert_eq!(d.lookups(), 1);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut d = DuplicateTagDirectory::new(4);
+        assert_eq!(d.set_state(LineAddr::new(7), 2, State::M), State::I);
+        assert_eq!(d.state_of(LineAddr::new(7), 2), State::M);
+        assert_eq!(d.owner(LineAddr::new(7)), Some(2));
+        assert_eq!(d.holders_mask(LineAddr::new(7)), 0b0100);
+    }
+
+    #[test]
+    fn entry_garbage_collected_when_all_invalid() {
+        let mut d = DuplicateTagDirectory::new(2);
+        d.set_state(LineAddr::new(3), 0, State::S);
+        assert_eq!(d.len(), 1);
+        d.set_state(LineAddr::new(3), 0, State::I);
+        assert_eq!(d.len(), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn setting_invalid_on_absent_line_is_noop() {
+        let mut d = DuplicateTagDirectory::new(2);
+        d.set_state(LineAddr::new(3), 1, State::I);
+        assert!(d.is_empty());
+        assert_eq!(d.updates(), 1);
+    }
+
+    #[test]
+    fn owner_prefers_ownerlike_over_shared() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(9), 0, State::S);
+        d.set_state(LineAddr::new(9), 3, State::O);
+        assert_eq!(d.owner(LineAddr::new(9)), Some(3));
+        assert_eq!(d.holders_mask(LineAddr::new(9)), 0b1001);
+    }
+
+    #[test]
+    fn first_holder_except_skips_requester() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(9), 1, State::S);
+        d.set_state(LineAddr::new(9), 2, State::S);
+        assert_eq!(d.first_holder_except(LineAddr::new(9), 1), Some(2));
+        assert_eq!(d.first_holder_except(LineAddr::new(9), 0), Some(1));
+        d.set_state(LineAddr::new(9), 2, State::I);
+        assert_eq!(d.first_holder_except(LineAddr::new(9), 1), None);
+    }
+
+    #[test]
+    fn invariants_catch_double_owner() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(5), 0, State::M);
+        assert!(d.check_invariants().is_ok());
+        d.set_state(LineAddr::new(5), 1, State::M);
+        assert!(d.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_catch_exclusive_with_sharer() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(5), 0, State::E);
+        d.set_state(LineAddr::new(5), 1, State::S);
+        assert!(d.check_invariants().is_err());
+    }
+
+    #[test]
+    fn owned_with_sharers_is_legal() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(5), 0, State::O);
+        d.set_state(LineAddr::new(5), 1, State::S);
+        d.set_state(LineAddr::new(5), 2, State::S);
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_bounds_checked() {
+        DuplicateTagDirectory::new(2).set_state(LineAddr::new(0), 5, State::S);
+    }
+
+    #[test]
+    fn iter_exposes_entries() {
+        let mut d = DuplicateTagDirectory::new(2);
+        d.set_state(LineAddr::new(1), 0, State::S);
+        d.set_state(LineAddr::new(2), 1, State::M);
+        assert_eq!(d.iter().count(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! MOESI coherence states.
+
+/// A MOESI coherence state as tracked per (line, node) in the vault tag
+/// and the duplicate-tag directory (3 bits in the paper's Fig. 9).
+///
+/// The MESI engine uses the subset {I, S, E, M}.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum State {
+    /// Invalid: not present.
+    #[default]
+    I,
+    /// Shared: clean, possibly multiple copies.
+    S,
+    /// Exclusive: clean, sole copy.
+    E,
+    /// Owned: dirty, this node must respond to coherence requests, other
+    /// nodes may hold S copies (MOESI only).
+    O,
+    /// Modified: dirty, sole copy.
+    M,
+}
+
+impl State {
+    /// True when the line is present (any state but I).
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, State::I)
+    }
+
+    /// True when this copy is dirty with respect to memory.
+    #[inline]
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, State::M | State::O)
+    }
+
+    /// True when this node may write without a coherence transaction.
+    #[inline]
+    pub const fn can_write_silently(self) -> bool {
+        matches!(self, State::M | State::E)
+    }
+
+    /// True when this node is responsible for supplying data
+    /// (the owner in coherence terms: M, O, or E holder).
+    #[inline]
+    pub const fn is_ownerlike(self) -> bool {
+        matches!(self, State::M | State::O | State::E)
+    }
+}
+
+impl std::fmt::Display for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            State::I => "I",
+            State::S => "S",
+            State::E => "E",
+            State::O => "O",
+            State::M => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity() {
+        assert!(!State::I.is_valid());
+        for s in [State::S, State::E, State::O, State::M] {
+            assert!(s.is_valid());
+        }
+    }
+
+    #[test]
+    fn dirtiness_matches_moesi_semantics() {
+        assert!(State::M.is_dirty());
+        assert!(State::O.is_dirty());
+        assert!(!State::E.is_dirty());
+        assert!(!State::S.is_dirty());
+        assert!(!State::I.is_dirty());
+    }
+
+    #[test]
+    fn silent_write_rights() {
+        assert!(State::M.can_write_silently());
+        assert!(State::E.can_write_silently());
+        assert!(!State::O.can_write_silently());
+        assert!(!State::S.can_write_silently());
+    }
+
+    #[test]
+    fn owner_like_states() {
+        assert!(State::M.is_ownerlike());
+        assert!(State::O.is_ownerlike());
+        assert!(State::E.is_ownerlike());
+        assert!(!State::S.is_ownerlike());
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        assert_eq!(State::O.to_string(), "O");
+        assert_eq!(State::default(), State::I);
+    }
+}

@@ -1,0 +1,157 @@
+//! Protocol step vocabulary exchanged between the coherence engines and
+//! the timing simulator.
+//!
+//! Each access produces an [`AccessResult`]: the ordered critical-path
+//! [`Step`]s the requesting core waits for, plus [`Background`] work
+//! (fills, writebacks, directory updates) that occupies resources without
+//! extending the load-to-use latency.
+
+use silo_types::LineAddr;
+
+/// Which level of the hierarchy ultimately served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Hit in the core's L1.
+    L1,
+    /// Hit in the core's private L2 (3-level configurations).
+    L2,
+    /// Hit in the core's own DRAM cache vault (SILO).
+    LocalVault,
+    /// Supplied by another core's vault via the directory (SILO).
+    RemoteVault,
+    /// Hit in the shared LLC (baseline NUCA SRAM/eDRAM or shared vaults),
+    /// including cache-to-cache forwards through the LLC directory.
+    SharedLlc,
+    /// Served by main memory (optionally filtered by a conventional DRAM
+    /// cache in the `Baseline+DRAM$` system — the split is made by the
+    /// simulator, which owns that structure).
+    Memory,
+}
+
+impl ServedBy {
+    /// True for accesses that left the chip (LLC misses).
+    pub const fn is_off_chip(self) -> bool {
+        matches!(self, ServedBy::Memory)
+    }
+}
+
+/// One critical-path protocol step. The simulator charges each step's
+/// latency in order, reserving contended resources (banks, links) as it
+/// goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// One-way mesh traversal between two nodes.
+    Net { from: usize, to: usize },
+    /// DRAM access in a vault (TAD read, directory read, or forward).
+    VaultAccess { node: usize },
+    /// SRAM/eDRAM shared-LLC bank access (the simulator maps the bank to
+    /// its mesh node and technology latency).
+    LlcBank { bank: usize },
+    /// Probe of a remote core's L1 (forward or invalidation ack).
+    L1Probe { node: usize },
+    /// Invalidation round from `home` to every node in `mask`
+    /// (bit i = node i); performed in parallel, so the simulator charges
+    /// the farthest round trip plus one probe.
+    Invalidations { home: usize, mask: u64 },
+    /// Directory metadata served by the on-chip directory cache instead of
+    /// DRAM (Sec. V-C optimization).
+    DirCacheHit,
+    /// Main-memory access.
+    Memory,
+}
+
+/// Off-critical-path work. The simulator reserves resources and accounts
+/// energy for these but does not add their latency to the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Background {
+    /// Fill of the requester's vault; `dirty_writeback` is set when the
+    /// evicted victim was M/O and must go to memory.
+    VaultFill { node: usize, dirty_writeback: bool },
+    /// Fill of a shared LLC bank; `dirty_writeback` set when the victim
+    /// was dirty.
+    LlcFill { bank: usize, dirty_writeback: bool },
+    /// Directory metadata update at `home` touching `ways` entries
+    /// (worst case N on a full-set transition, Sec. V-B).
+    DirUpdate { home: usize, ways: u32 },
+    /// Dirty L1 victim written back into the level below.
+    L1Writeback { node: usize },
+    /// Standalone main-memory write (dirty eviction).
+    MemoryWrite,
+}
+
+/// The full description of one access as executed by a protocol engine.
+#[derive(Clone, Debug, Default)]
+pub struct AccessResult {
+    /// Who served the data.
+    pub served: Option<ServedBy>,
+    /// Ordered critical-path steps.
+    pub steps: Vec<Step>,
+    /// Off-critical-path work.
+    pub background: Vec<Background>,
+    /// True when this access reached the LLC level (an "LLC access" in
+    /// the paper's Fig. 3/11 sense, i.e. it missed the on-chip SRAM
+    /// levels).
+    pub llc_access: bool,
+    /// The line involved (for sharing classification and the DRAM cache
+    /// layer in the simulator).
+    pub line: LineAddr,
+    /// True when the demand access was a write.
+    pub is_write: bool,
+}
+
+impl AccessResult {
+    /// Clears the result for reuse without freeing buffers.
+    pub fn clear(&mut self) {
+        self.served = None;
+        self.steps.clear();
+        self.background.clear();
+        self.llc_access = false;
+        self.line = LineAddr::new(0);
+        self.is_write = false;
+    }
+
+    /// The final service level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine never set it (engine bug).
+    pub fn served_by(&self) -> ServedBy {
+        self.served.expect("engine must classify every access")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_by_classification() {
+        assert!(ServedBy::Memory.is_off_chip());
+        assert!(!ServedBy::LocalVault.is_off_chip());
+        assert!(!ServedBy::SharedLlc.is_off_chip());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = AccessResult {
+            served: Some(ServedBy::L1),
+            steps: vec![Step::Memory],
+            background: vec![Background::MemoryWrite],
+            llc_access: true,
+            line: LineAddr::new(9),
+            is_write: true,
+        };
+        r.clear();
+        assert!(r.served.is_none());
+        assert!(r.steps.is_empty());
+        assert!(r.background.is_empty());
+        assert!(!r.llc_access);
+        assert!(!r.is_write);
+    }
+
+    #[test]
+    #[should_panic(expected = "classify")]
+    fn served_by_panics_when_unset() {
+        AccessResult::default().served_by();
+    }
+}

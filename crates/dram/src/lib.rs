@@ -1,0 +1,32 @@
+//! Analytical DRAM technology model and bank timing resources.
+//!
+//! This crate replaces the CACTI-3DD technology analysis used by the SILO
+//! paper (Sec. IV and VI-B). It provides:
+//!
+//! * [`tech`] — a tile-geometry area/latency model reproducing the
+//!   capacity-vs-latency trade-off of Fig. 7: shorter bitlines/wordlines
+//!   lower the access latency but add sense-amplifier and wordline-driver
+//!   strips that cost area.
+//! * [`vault`] — the die-stacked vault design-space sweep of Fig. 8 and the
+//!   latency-/capacity-optimized design-point selection of Table I.
+//! * [`timing`] — next-free-time bank/channel reservation models used by
+//!   the simulator for DRAM cache vaults and main memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_dram::tech::{TechnologyParams, TileGeometry};
+//!
+//! let tech = TechnologyParams::default();
+//! let fast = tech.tile_latency_ns(TileGeometry::square(256));
+//! let slow = tech.tile_latency_ns(TileGeometry::square(1024));
+//! assert!(fast < slow);
+//! ```
+
+pub mod tech;
+pub mod timing;
+pub mod vault;
+
+pub use tech::{TechnologyParams, TileGeometry};
+pub use timing::{BankArray, BankedResource};
+pub use vault::{DesignPoint, VaultConfig, VaultSweep};

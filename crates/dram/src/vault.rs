@@ -1,0 +1,461 @@
+//! Die-stacked vault design-space exploration (Fig. 8 and Table I).
+//!
+//! A SILO vault is a four-die stack of DRAM banks sitting directly above a
+//! core, with a 5 mm^2 footprint matching the core beneath it (Sec. IV-D).
+//! This module enumerates feasible vault designs over the same knobs the
+//! paper sweeps — number of banks, page size, and tile dimensions (which
+//! encode the divisions-per-bitline and divisions-per-wordline choices) —
+//! and computes each design's capacity and access latency, producing the
+//! capacity/latency scatter of Fig. 8 plus the latency-optimized and
+//! capacity-optimized design points of Table I.
+
+use crate::tech::{TechnologyParams, TileGeometry};
+
+/// Geometry knobs of one vault design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VaultConfig {
+    /// Tile dimensions (bitline x local wordline cells).
+    pub tile: TileGeometry,
+    /// DRAM row (page) size in bytes.
+    pub page_bytes: u32,
+    /// Banks on each DRAM die of the stack.
+    pub banks_per_die: u32,
+    /// Fraction of the usable die area actually populated with DRAM
+    /// arrays (1.0 = fill the footprint; smaller values model the
+    /// low-capacity designs of Fig. 8 that deliberately underfill the
+    /// 5 mm^2 budget).
+    pub array_fraction: f64,
+    /// Number of stacked DRAM dies (4 in the paper's conservative model).
+    pub dies: u32,
+    /// Vault footprint per die in mm^2 (5 mm^2, matching the core below).
+    pub die_area_mm2: f64,
+}
+
+impl VaultConfig {
+    /// Total banks visible to the vault controller.
+    pub fn banks_per_vault(&self) -> u32 {
+        self.banks_per_die * self.dies
+    }
+}
+
+/// One evaluated design: the configuration plus its derived capacity,
+/// latency and area efficiency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// The geometry that produced this point.
+    pub config: VaultConfig,
+    /// Usable vault capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Random access latency of the vault array (ns), excluding the vault
+    /// controller and link serialization (those are added by the system
+    /// model).
+    pub latency_ns: f64,
+    /// Fraction of the whole die-stack area that is DRAM cells (includes
+    /// tile periphery, bank decoders, I/O and any unfilled area), matching
+    /// the paper's definition "DRAM cell area divided by total chip area".
+    pub area_efficiency: f64,
+}
+
+impl DesignPoint {
+    /// Capacity bucketed to the largest power-of-two MiB at or below the
+    /// real capacity; Fig. 8's x-axis uses these buckets (8MB..512MB).
+    pub fn capacity_bucket_mib(&self) -> u64 {
+        let mib = self.capacity_bytes / (1024 * 1024);
+        if mib == 0 {
+            0
+        } else {
+            1u64 << (63 - mib.leading_zeros())
+        }
+    }
+
+    /// Total tiles in the vault (used by the Table I tile-count ratio).
+    pub fn tiles(&self) -> u64 {
+        (self.capacity_bytes * 8) / self.config.tile.cells()
+    }
+}
+
+/// The Fig. 8 sweep: evaluates every combination of the knob ranges.
+#[derive(Clone, Debug)]
+pub struct VaultSweep {
+    /// Tile dimensions to try (square tiles).
+    pub tile_dims: Vec<u32>,
+    /// Page sizes to try, bytes.
+    pub page_sizes: Vec<u32>,
+    /// Banks-per-die values to try.
+    pub banks_per_die: Vec<u32>,
+    /// Array fill fractions to try.
+    pub array_fractions: Vec<f64>,
+    /// Dies in the stack.
+    pub dies: u32,
+    /// Die footprint, mm^2.
+    pub die_area_mm2: f64,
+}
+
+impl Default for VaultSweep {
+    fn default() -> Self {
+        VaultSweep {
+            tile_dims: vec![128, 256, 512, 1024, 2048],
+            page_sizes: vec![512, 1024, 2048, 4096, 8192],
+            banks_per_die: vec![4, 8, 16, 32, 64],
+            array_fractions: vec![0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0],
+            dies: 4,
+            die_area_mm2: 5.0,
+        }
+    }
+}
+
+impl VaultSweep {
+    /// Evaluates every design in the sweep, discarding infeasible ones
+    /// (peripheral area exceeding the die budget or zero capacity).
+    pub fn run(&self, tech: &TechnologyParams) -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for &dim in &self.tile_dims {
+            for &page in &self.page_sizes {
+                // A page must span at least one tile row of cells.
+                if (page as u64) * 8 < dim as u64 {
+                    continue;
+                }
+                for &banks in &self.banks_per_die {
+                    for &frac in &self.array_fractions {
+                        let config = VaultConfig {
+                            tile: TileGeometry::square(dim),
+                            page_bytes: page,
+                            banks_per_die: banks,
+                            array_fraction: frac,
+                            dies: self.dies,
+                            die_area_mm2: self.die_area_mm2,
+                        };
+                        if let Some(p) = evaluate(tech, config) {
+                            points.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Returns, for each power-of-two capacity bucket, the lowest-latency
+    /// design (the lower envelope of the Fig. 8 scatter), sorted by
+    /// capacity.
+    pub fn pareto(&self, tech: &TechnologyParams) -> Vec<DesignPoint> {
+        let mut best: std::collections::BTreeMap<u64, DesignPoint> =
+            std::collections::BTreeMap::new();
+        for p in self.run(tech) {
+            let bucket = p.capacity_bucket_mib();
+            if bucket == 0 {
+                continue;
+            }
+            match best.get(&bucket) {
+                Some(b) if b.latency_ns <= p.latency_ns => {}
+                _ => {
+                    best.insert(bucket, p);
+                }
+            }
+        }
+        best.into_values().collect()
+    }
+
+    /// The latency-optimized design point (Sec. IV-D): walking the Pareto
+    /// envelope toward higher capacity, stop before the first doubling
+    /// whose marginal latency increase exceeds `max_marginal` (the paper
+    /// stops at 256 MB, where the next doubling costs ~80%).
+    pub fn latency_optimized(
+        &self,
+        tech: &TechnologyParams,
+        max_marginal: f64,
+    ) -> Option<DesignPoint> {
+        let pareto = self.pareto(tech);
+        let mut chosen: Option<DesignPoint> = None;
+        for p in pareto {
+            match chosen {
+                None => chosen = Some(p),
+                Some(c) => {
+                    let marginal = p.latency_ns / c.latency_ns - 1.0;
+                    if marginal <= max_marginal {
+                        chosen = Some(p);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        chosen
+    }
+
+    /// The capacity-optimized design point: the highest-capacity bucket's
+    /// lowest-latency design (the paper's 512 MB point, justified for
+    /// discrete DRAM caches where interconnect delays dwarf the array).
+    pub fn capacity_optimized(&self, tech: &TechnologyParams) -> Option<DesignPoint> {
+        self.pareto(tech).into_iter().last()
+    }
+}
+
+/// Deepest row decoder a bank can drive: banks taller than this are not
+/// buildable (commodity parts top out around 2^14 rows per bank).
+pub const MAX_ROWS_PER_BANK: u64 = 16 * 1024;
+
+/// Shallowest sensible bank (fewer rows wastes the decoder).
+pub const MIN_ROWS_PER_BANK: u64 = 1024;
+
+/// Evaluates a single vault configuration, returning `None` when the
+/// peripheral area alone exceeds the die budget or the implied bank shape
+/// is unbuildable (row decoder deeper than [`MAX_ROWS_PER_BANK`]).
+///
+/// The row-depth constraint is what couples page size, bank count and
+/// capacity: a big, dense die cannot be carved into a few narrow-page
+/// banks, so high-capacity designs are forced toward long rows and long
+/// lines — the physics behind the Fig. 8 capacity/latency trade-off.
+pub fn evaluate(tech: &TechnologyParams, config: VaultConfig) -> Option<DesignPoint> {
+    if !(0.0..=1.0).contains(&config.array_fraction) || config.array_fraction <= 0.0 {
+        return None;
+    }
+    let fixed = tech.die_io_mm2 + config.banks_per_die as f64 * tech.bank_fixed_mm2;
+    let usable = (config.die_area_mm2 - fixed) * config.array_fraction;
+    if usable <= 0.0 {
+        return None;
+    }
+    let bits_per_die = tech.bits_in_area(config.tile, usable);
+    let capacity_bytes = bits_per_die / 8 * config.dies as u64;
+    if capacity_bytes == 0 {
+        return None;
+    }
+    let bank_bits = bits_per_die / config.banks_per_die as u64;
+    let rows_per_bank = bank_bits / (config.page_bytes as u64 * 8);
+    if !(MIN_ROWS_PER_BANK..=MAX_ROWS_PER_BANK).contains(&rows_per_bank) {
+        return None;
+    }
+    let latency_ns =
+        tech.access_latency_ns(config.tile, config.page_bytes, config.banks_per_vault());
+    let cell_area_mm2 = capacity_bytes as f64 * 8.0 * tech.cell_area_um2 / 1.0e6;
+    let total_area_mm2 = config.die_area_mm2 * config.dies as f64;
+    Some(DesignPoint {
+        config,
+        capacity_bytes,
+        latency_ns,
+        area_efficiency: cell_area_mm2 / total_area_mm2,
+    })
+}
+
+/// One row of the Fig. 7 curve: a tile dimension with page size and bank
+/// count scaled the way the paper's sweep does (smaller tiles come with
+/// shorter pages and more banks), normalized to the 1024x1024 commodity
+/// design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig7Point {
+    /// Square tile dimension in cells.
+    pub tile_dim: u32,
+    /// Access latency normalized to the 1024x1024 commodity baseline.
+    pub norm_latency: f64,
+    /// Array area per bit normalized to the same baseline.
+    pub norm_area: f64,
+}
+
+/// Produces the Fig. 7 latency/area curve for a planar 1 Gb die.
+///
+/// The commodity baseline is a 1024x1024 tile, 8 KiB page, 8-bank chip
+/// (Micron DDR3-class). Each smaller tile dimension is paired with a
+/// proportionally shorter page and more banks, mirroring how the paper
+/// varies banks, page size, Ndbl and Ndwl together.
+pub fn fig7_curve(tech: &TechnologyParams) -> Vec<Fig7Point> {
+    let chip_latency = |dim: u32| -> f64 {
+        let page = (8192u64 * (dim as u64 * dim as u64) / (1024 * 1024)).clamp(512, 8192) as u32;
+        let banks = (8u64 * (1024 * 1024) / (dim as u64 * dim as u64)).clamp(8, 128) as u32;
+        // Planar chip: no TSV hop.
+        tech.access_latency_ns(TileGeometry::square(dim), page, banks) - tech.t_tsv_ns
+    };
+    let base_lat = chip_latency(1024);
+    let base_area = tech.area_factor(TileGeometry::square(1024));
+    [1024u32, 512, 256, 128, 64]
+        .iter()
+        .map(|&dim| Fig7Point {
+            tile_dim: dim,
+            norm_latency: chip_latency(dim) / base_lat,
+            norm_area: tech.area_factor(TileGeometry::square(dim)) / base_area,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> VaultSweep {
+        VaultSweep::default()
+    }
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::default()
+    }
+
+    #[test]
+    fn sweep_produces_many_feasible_designs() {
+        let pts = sweep().run(&tech());
+        assert!(pts.len() > 50, "only {} designs", pts.len());
+        for p in &pts {
+            assert!(p.capacity_bytes > 0);
+            assert!(p.latency_ns > 0.0);
+            assert!(p.area_efficiency > 0.0 && p.area_efficiency < 1.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_sorted_and_monotone_enough() {
+        let pareto = sweep().pareto(&tech());
+        assert!(pareto.len() >= 4);
+        for w in pareto.windows(2) {
+            assert!(w[0].capacity_bucket_mib() < w[1].capacity_bucket_mib());
+        }
+    }
+
+    #[test]
+    fn fig8_latency_optimized_is_around_256mb_and_5_5ns() {
+        let lat = sweep().latency_optimized(&tech(), 0.25).expect("point");
+        let mib = lat.capacity_bucket_mib();
+        assert!(
+            (128..=256).contains(&mib),
+            "latency-optimized bucket {mib} MiB outside [128,256]"
+        );
+        assert!(
+            (4.5..=6.5).contains(&lat.latency_ns),
+            "latency-optimized latency {} ns outside [4.5, 6.5]",
+            lat.latency_ns
+        );
+    }
+
+    #[test]
+    fn fig8_capacity_optimized_is_around_512mb() {
+        let cap = sweep().capacity_optimized(&tech()).expect("point");
+        let mib = cap.capacity_bucket_mib();
+        assert!(
+            (512..=1024).contains(&mib),
+            "capacity-optimized bucket {mib} MiB outside [512,1024]"
+        );
+    }
+
+    #[test]
+    fn table1_ratios_hold() {
+        let s = sweep();
+        let t = tech();
+        let lat = s.latency_optimized(&t, 0.25).expect("lat point");
+        let cap = s.capacity_optimized(&t).expect("cap point");
+        // Paper Table I: capacity-optimized has ~1.74x better area
+        // efficiency, ~1.8x higher latency, ~0.25x the tiles.
+        let area_ratio = cap.area_efficiency / lat.area_efficiency;
+        assert!(
+            (1.3..=2.2).contains(&area_ratio),
+            "area efficiency ratio {area_ratio} outside [1.3, 2.2]"
+        );
+        let lat_ratio = cap.latency_ns / lat.latency_ns;
+        assert!(
+            (1.5..=2.3).contains(&lat_ratio),
+            "latency ratio {lat_ratio} outside [1.5, 2.3]"
+        );
+        assert!(
+            cap.tiles() < lat.tiles(),
+            "capacity-optimized should use fewer, larger tiles"
+        );
+    }
+
+    #[test]
+    fn fig8_small_vaults_pay_little_latency() {
+        // Paper: 8MB -> 128MB costs < 10% latency; 256 -> 512 costs ~80%.
+        let pareto = sweep().pareto(&tech());
+        let by_bucket: std::collections::BTreeMap<u64, f64> = pareto
+            .iter()
+            .map(|p| (p.capacity_bucket_mib(), p.latency_ns))
+            .collect();
+        let min_lat = pareto
+            .iter()
+            .map(|p| p.latency_ns)
+            .fold(f64::INFINITY, f64::min);
+        if let Some(&l128) = by_bucket.get(&128) {
+            assert!(
+                l128 / min_lat < 1.15,
+                "128MB latency {l128} vs min {min_lat} exceeds +15%"
+            );
+        }
+        let (&last_bucket, &last_lat) = by_bucket.iter().next_back().unwrap();
+        assert!(last_bucket >= 512);
+        assert!(
+            last_lat / min_lat > 1.5,
+            "largest bucket latency {last_lat} vs min {min_lat} should jump"
+        );
+    }
+
+    #[test]
+    fn fig7_anchors() {
+        let curve = fig7_curve(&tech());
+        let find = |d: u32| curve.iter().find(|p| p.tile_dim == d).copied().unwrap();
+        let p1024 = find(1024);
+        assert!((p1024.norm_latency - 1.0).abs() < 1e-12);
+        assert!((p1024.norm_area - 1.0).abs() < 1e-12);
+        let p256 = find(256);
+        assert!(
+            (0.30..=0.45).contains(&p256.norm_latency),
+            "256 latency {}",
+            p256.norm_latency
+        );
+        assert!(
+            (1.3..=1.7).contains(&p256.norm_area),
+            "256 area {}",
+            p256.norm_area
+        );
+        let p128 = find(128);
+        let marginal = 1.0 - p128.norm_latency / p256.norm_latency;
+        assert!(
+            (-0.02..=0.12).contains(&marginal),
+            "128 marginal latency gain {marginal}"
+        );
+        assert!(p128.norm_area > 2.0, "128 area {}", p128.norm_area);
+        let p64 = find(64);
+        assert!(p64.norm_area > p128.norm_area * 1.4);
+    }
+
+    #[test]
+    fn capacity_bucket_rounds_down_to_power_of_two() {
+        let mut p = evaluate(
+            &tech(),
+            VaultConfig {
+                tile: TileGeometry::square(256),
+                page_bytes: 512,
+                banks_per_die: 32,
+                array_fraction: 1.0,
+                dies: 4,
+                die_area_mm2: 5.0,
+            },
+        )
+        .unwrap();
+        p.capacity_bytes = 300 * 1024 * 1024;
+        assert_eq!(p.capacity_bucket_mib(), 256);
+        p.capacity_bytes = 100 * 1024;
+        assert_eq!(p.capacity_bucket_mib(), 0);
+    }
+
+    #[test]
+    fn evaluate_rejects_overcommitted_periphery() {
+        // 64 banks at 0.045 mm^2 each plus IO > 3 mm^2 die: infeasible.
+        let cfg = VaultConfig {
+            tile: TileGeometry::square(256),
+            page_bytes: 512,
+            banks_per_die: 64,
+            array_fraction: 1.0,
+            dies: 4,
+            die_area_mm2: 3.0,
+        };
+        assert!(evaluate(&tech(), cfg).is_none());
+    }
+
+    #[test]
+    fn banks_per_vault_multiplies_dies() {
+        let cfg = VaultConfig {
+            tile: TileGeometry::square(256),
+            page_bytes: 512,
+            banks_per_die: 16,
+            array_fraction: 1.0,
+            dies: 4,
+            die_area_mm2: 5.0,
+        };
+        assert_eq!(cfg.banks_per_vault(), 64);
+    }
+}

@@ -1,0 +1,320 @@
+//! Lightweight statistics primitives used by every simulated component.
+//!
+//! The simulator aggregates everything through [`Counter`]s (monotonically
+//! increasing event counts) and [`Histogram`]s (latency distributions).
+//! They are intentionally plain `u64`-based structures: the simulator is
+//! single-threaded per run and parallelism happens across runs.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::stats::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero (used between the warmup and measurement
+    /// phases of a sample).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Ratio helper that tolerates a zero denominator (returns 0.0).
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A fixed-bucket histogram of cycle latencies.
+///
+/// Buckets are linear up to `linear_max` with the given width, plus one
+/// overflow bucket. Tracks count, sum, and max so means remain exact even
+/// when samples land in the overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n_buckets` linear buckets of `bucket_width`
+    /// plus an overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `n_buckets` is zero.
+    pub fn new(bucket_width: u64, n_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; n_buckets + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        let last = self.buckets.len() - 1;
+        self.buckets[idx.min(last)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        ratio(self.sum, self.count)
+    }
+
+    /// Largest recorded sample.
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (0.0..=1.0) from bucket boundaries; returns
+    /// the upper edge of the bucket containing the percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return ((i as u64) + 1) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+/// Running mean/min/max accumulator for floating-point series
+/// (e.g. per-sample UIPC values under SMARTS-style sampling).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation, or 0.0 for fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq - self.sum * self.sum / n) / n;
+        var.max(0.0).sqrt()
+    }
+
+    /// Smallest observation (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(format!("{}", Counter::new()), "0");
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(5, 10), 0.5);
+    }
+
+    #[test]
+    fn histogram_mean_and_max() {
+        let mut h = Histogram::new(10, 10);
+        for v in [5, 15, 25, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 261.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((45..=55).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut h = Histogram::new(10, 4);
+        h.record(3);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_zero_width() {
+        Histogram::new(0, 4);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.std_dev() - (1.25f64).sqrt()).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}
