@@ -103,6 +103,26 @@ impl<P> SetAssocCache<P> {
         Self::new(sets, ways, policy)
     }
 
+    /// Like [`with_capacity`](Self::with_capacity), but floors the set
+    /// count to the previous power of two instead of panicking, flooring
+    /// at one set. Used when the capacity is derived (scaled by an
+    /// arbitrary factor or split across an arbitrary bank count) and thus
+    /// not guaranteed to divide evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn with_capacity_rounded(
+        capacity: ByteSize,
+        ways: usize,
+        policy: ReplacementPolicy,
+    ) -> Self {
+        assert!(ways > 0, "need at least one way");
+        let sets = (capacity.lines() / ways as u64).max(1);
+        let sets = 1u64 << (63 - sets.leading_zeros());
+        Self::new(sets, ways, policy)
+    }
+
     /// Number of sets.
     pub fn sets(&self) -> u64 {
         self.sets
@@ -360,11 +380,8 @@ mod tests {
 
     #[test]
     fn with_capacity_sizes_correctly() {
-        let c: SetAssocCache<()> = SetAssocCache::with_capacity(
-            ByteSize::from_kib(64),
-            8,
-            ReplacementPolicy::Lru,
-        );
+        let c: SetAssocCache<()> =
+            SetAssocCache::with_capacity(ByteSize::from_kib(64), 8, ReplacementPolicy::Lru);
         assert_eq!(c.capacity_lines(), 1024);
         assert_eq!(c.sets(), 128);
         assert_eq!(c.ways(), 8);
@@ -374,6 +391,28 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         SetAssocCache::<()>::new(3, 1, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn with_capacity_rounded_floors_to_power_of_two() {
+        // 100 lines / 8 ways = 12 sets -> floored to 8.
+        let c: SetAssocCache<()> = SetAssocCache::with_capacity_rounded(
+            ByteSize::from_bytes(100 * 64),
+            8,
+            ReplacementPolicy::Lru,
+        );
+        assert_eq!(c.sets(), 8);
+        // Smaller than one line per way still yields one set.
+        let c: SetAssocCache<()> = SetAssocCache::with_capacity_rounded(
+            ByteSize::from_bytes(64),
+            16,
+            ReplacementPolicy::Lru,
+        );
+        assert_eq!(c.sets(), 1);
+        // Exact powers of two are preserved.
+        let c: SetAssocCache<()> =
+            SetAssocCache::with_capacity_rounded(ByteSize::from_kib(64), 8, ReplacementPolicy::Lru);
+        assert_eq!(c.sets(), 128);
     }
 
     #[test]

@@ -16,6 +16,17 @@ use crate::state::State;
 use silo_types::LineAddr;
 use std::collections::HashMap;
 
+/// Compact result of one directory lookup: the information the protocol
+/// engines act on, without materializing the per-node state vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirView {
+    /// Bitmask of nodes holding the line in any valid state.
+    pub mask: u64,
+    /// The node holding the line in an owner-like state (M, O, or E),
+    /// with that state; at most one exists (protocol invariant).
+    pub owner: Option<(usize, State)>,
+}
+
 /// The functional duplicate-tag directory: per line, one coherence state
 /// per node (way position = node id).
 #[derive(Clone, Debug)]
@@ -65,6 +76,35 @@ impl DuplicateTagDirectory {
             .get(&line)
             .cloned()
             .unwrap_or_else(|| vec![State::I; self.n_nodes])
+    }
+
+    /// Records a directory lookup and returns the compact per-line view
+    /// the protocol engines act on, without allocating: the holder
+    /// bitmask and the owner-like node with its state (at most one, by
+    /// the single-writer invariant).
+    pub fn lookup_view(&mut self, line: LineAddr) -> DirView {
+        self.lookups += 1;
+        match self.entries.get(&line) {
+            None => DirView {
+                mask: 0,
+                owner: None,
+            },
+            Some(states) => {
+                let mut view = DirView {
+                    mask: 0,
+                    owner: None,
+                };
+                for (i, s) in states.iter().enumerate() {
+                    if s.is_valid() {
+                        view.mask |= 1u64 << i;
+                    }
+                    if s.is_ownerlike() {
+                        view.owner = Some((i, *s));
+                    }
+                }
+                view
+            }
+        }
     }
 
     /// Sets the state of `line` at `node`, creating or garbage-collecting
@@ -165,9 +205,7 @@ impl DuplicateTagDirectory {
             if valid == 0 {
                 return Err(format!("{line}: empty entry not collected"));
             }
-            let exclusive = states
-                .iter()
-                .any(|s| matches!(s, State::M | State::E));
+            let exclusive = states.iter().any(|s| matches!(s, State::M | State::E));
             if exclusive && valid > 1 {
                 return Err(format!("{line}: M/E coexists with other copies"));
             }
@@ -239,6 +277,24 @@ mod tests {
         assert_eq!(d.first_holder_except(LineAddr::new(9), 0), Some(1));
         d.set_state(LineAddr::new(9), 2, State::I);
         assert_eq!(d.first_holder_except(LineAddr::new(9), 1), None);
+    }
+
+    #[test]
+    fn lookup_view_matches_vector_lookup() {
+        let mut d = DuplicateTagDirectory::new(4);
+        assert_eq!(
+            d.lookup_view(LineAddr::new(1)),
+            DirView {
+                mask: 0,
+                owner: None
+            }
+        );
+        d.set_state(LineAddr::new(1), 0, State::S);
+        d.set_state(LineAddr::new(1), 2, State::O);
+        let v = d.lookup_view(LineAddr::new(1));
+        assert_eq!(v.mask, 0b0101);
+        assert_eq!(v.owner, Some((2, State::O)));
+        assert_eq!(d.lookups(), 2);
     }
 
     #[test]

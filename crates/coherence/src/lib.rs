@@ -25,9 +25,9 @@ pub mod node;
 pub mod state;
 pub mod step;
 
-pub use directory::DuplicateTagDirectory;
-pub use mesi::SharedMesi;
-pub use moesi::PrivateMoesi;
+pub use directory::{DirView, DuplicateTagDirectory};
+pub use mesi::{SharedMesi, SharedMesiConfig};
+pub use moesi::{PrivateMoesi, PrivateMoesiConfig};
 pub use node::{Node, NodeSpec};
 pub use state::State;
 pub use step::{AccessResult, Background, ServedBy, Step};

@@ -2,8 +2,14 @@ fn main() {
     let t = silo_dram::TechnologyParams::default();
     let s = silo_dram::VaultSweep::default();
     for p in s.pareto(&t) {
-        println!("{:>5} MiB  {:>6.2} ns  eff {:.3}  tile {}  page {}  banks/die {}",
-            p.capacity_bucket_mib(), p.latency_ns, p.area_efficiency,
-            p.config.tile, p.config.page_bytes, p.config.banks_per_die);
+        println!(
+            "{:>5} MiB  {:>6.2} ns  eff {:.3}  tile {}  page {}  banks/die {}",
+            p.capacity_bucket_mib(),
+            p.latency_ns,
+            p.area_efficiency,
+            p.config.tile,
+            p.config.page_bytes,
+            p.config.banks_per_die
+        );
     }
 }

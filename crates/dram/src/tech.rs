@@ -50,8 +50,12 @@ impl std::fmt::Display for TileGeometry {
 /// Technology constants for the analytical model (22 nm DRAM node).
 ///
 /// The latency model is
-/// `t = t_fixed + k_line * (max(rows, line_floor) + max(cols, line_floor))
-///    + k_page_ns_per_kib * page_kib + k_mux * log2(banks)`
+///
+/// ```text
+/// t = t_fixed + k_line * (max(rows, line_floor) + max(cols, line_floor))
+///   + k_page_ns_per_kib * page_kib + k_mux * log2(banks)
+/// ```
+///
 /// where the `line_floor` captures the fixed sense-amplifier resolve and
 /// wordline-driver delays that stop mattering-line-length gains below
 /// ~230 cells — this is what makes latency saturate below 256x256 tiles.
@@ -168,11 +172,7 @@ impl TechnologyParams {
 
     /// Normalized (latency, area) pair relative to a reference tile, as
     /// plotted in Fig. 7.
-    pub fn normalized_vs(
-        &self,
-        tile: TileGeometry,
-        reference: TileGeometry,
-    ) -> (f64, f64) {
+    pub fn normalized_vs(&self, tile: TileGeometry, reference: TileGeometry) -> (f64, f64) {
         let lat = self.tile_latency_ns(tile) / self.tile_latency_ns(reference);
         let area = self.area_factor(tile) / self.area_factor(reference);
         (lat, area)
@@ -183,7 +183,10 @@ impl TechnologyParams {
 mod tests {
     use super::*;
 
-    const BASELINE: TileGeometry = TileGeometry { rows: 1024, cols: 1024 };
+    const BASELINE: TileGeometry = TileGeometry {
+        rows: 1024,
+        cols: 1024,
+    };
 
     #[test]
     fn latency_decreases_with_smaller_tiles_until_floor() {
@@ -245,7 +248,10 @@ mod tests {
         let (_, a128) = t.normalized_vs(TileGeometry::square(128), BASELINE);
         let (_, a64) = t.normalized_vs(TileGeometry::square(64), BASELINE);
         assert!(a128 > 2.0, "128x128 area {a128} should exceed 2x");
-        assert!(a64 > a128 * 1.5, "64x64 area {a64} should dwarf 128x128 {a128}");
+        assert!(
+            a64 > a128 * 1.5,
+            "64x64 area {a64} should dwarf 128x128 {a128}"
+        );
     }
 
     #[test]
@@ -308,7 +314,10 @@ mod tests {
 
     #[test]
     fn tile_display_and_cells() {
-        let g = TileGeometry { rows: 128, cols: 256 };
+        let g = TileGeometry {
+            rows: 128,
+            cols: 256,
+        };
         assert_eq!(g.to_string(), "128x256");
         assert_eq!(g.cells(), 128 * 256);
     }

@@ -189,12 +189,7 @@ impl Mesh {
 
     /// Mean flits per link over links that carried any traffic.
     pub fn mean_link_flits(&self) -> f64 {
-        let used: Vec<u64> = self
-            .link_flits
-            .iter()
-            .copied()
-            .filter(|&f| f > 0)
-            .collect();
+        let used: Vec<u64> = self.link_flits.iter().copied().filter(|&f| f > 0).collect();
         if used.is_empty() {
             0.0
         } else {

@@ -1,0 +1,181 @@
+//! System configuration: core count, mesh geometry, and the latency /
+//! capacity parameters of every simulated structure (Table II).
+
+use silo_coherence::NodeSpec;
+use silo_dram::DesignPoint;
+use silo_types::{ByteSize, Cycles};
+
+/// Every knob of one simulated machine. The same config drives both the
+/// SILO system and the shared-LLC baseline so comparisons are apples to
+/// apples.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of cores; must equal `mesh_width * mesh_height`.
+    pub cores: usize,
+    /// Mesh width.
+    pub mesh_width: usize,
+    /// Mesh height.
+    pub mesh_height: usize,
+    /// Per-hop mesh latency (3 cycles, Table II).
+    pub hop_cycles: Cycles,
+    /// Per-core SRAM geometry.
+    pub node_spec: NodeSpec,
+    /// Capacity-scaling knob: caches *and* working sets are divided by
+    /// this factor so full runs stay fast while hit ratios stay honest.
+    pub scale: u64,
+    /// Private vault capacity (256 MiB latency-optimized, Table I).
+    pub vault_capacity: ByteSize,
+    /// Vault array access occupancy (~5.5 ns at 2 GHz -> 11 cycles).
+    pub vault_access: Cycles,
+    /// Banks per vault (Table I latency-optimized design).
+    pub vault_banks: usize,
+    /// Aggregate shared-LLC capacity of the baseline (16 MiB, Table II).
+    pub llc_capacity: ByteSize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC bank access latency (5 cycles SRAM bank, Table II).
+    pub llc_bank_access: Cycles,
+    /// Sub-banks per LLC bank (allows some intra-bank overlap).
+    pub llc_sub_banks: usize,
+    /// Remote-L1 probe latency.
+    pub l1_probe: Cycles,
+    /// Main-memory access latency (~50 ns -> 100 cycles).
+    pub memory_access: Cycles,
+    /// Interleaved main-memory banks across all channels.
+    pub memory_banks: usize,
+    /// Outstanding misses a core can overlap (MSHRs).
+    pub mlp: usize,
+    /// Core frequency in GHz (2.0, Table II).
+    pub ghz: f64,
+    /// SILO models the ideal vault miss predictor of Sec. V-C.
+    pub ideal_miss_predict: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_16core()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's 16-core, 4x4-mesh scale-out server (Table II), with
+    /// capacities scaled down 64x for fast simulation.
+    pub fn paper_16core() -> Self {
+        SystemConfig {
+            cores: 16,
+            mesh_width: 4,
+            mesh_height: 4,
+            hop_cycles: Cycles(3),
+            node_spec: NodeSpec::two_level(),
+            scale: 64,
+            vault_capacity: ByteSize::from_mib(256),
+            vault_access: Cycles(11),
+            vault_banks: 64,
+            llc_capacity: ByteSize::from_mib(16),
+            llc_ways: 16,
+            llc_bank_access: Cycles(5),
+            llc_sub_banks: 4,
+            l1_probe: Cycles(3),
+            memory_access: Cycles(100),
+            memory_banks: 32,
+            mlp: 8,
+            ghz: 2.0,
+            ideal_miss_predict: true,
+        }
+    }
+
+    /// Derives the vault capacity and access latency from an evaluated
+    /// `silo-dram` design point (Fig. 8 / Table I), adding a small
+    /// controller overhead on top of the array latency.
+    pub fn with_design_point(mut self, p: &DesignPoint) -> Self {
+        const CONTROLLER_NS: f64 = 1.0;
+        self.vault_capacity = ByteSize::from_mib(p.capacity_bucket_mib());
+        self.vault_access = Cycles::from_ns(p.latency_ns + CONTROLLER_NS, self.ghz);
+        self.vault_banks = p.config.banks_per_vault() as usize;
+        self
+    }
+
+    /// Reshapes the machine to `cores` cores on the squarest mesh whose
+    /// dimensions multiply to `cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds 64 (directory masks are u64).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(
+            (1..=64).contains(&cores),
+            "core count {cores} outside [1, 64]"
+        );
+        let mut w = (cores as f64).sqrt() as usize;
+        while w > 1 && cores % w != 0 {
+            w -= 1;
+        }
+        self.cores = cores;
+        self.mesh_width = w.max(1);
+        self.mesh_height = cores / self.mesh_width;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh does not cover exactly `cores` nodes.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.cores,
+            self.mesh_width * self.mesh_height,
+            "mesh {}x{} does not cover {} cores",
+            self.mesh_width,
+            self.mesh_height,
+            self.cores
+        );
+        assert!(self.mlp > 0, "need at least one MSHR");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_consistent() {
+        let c = SystemConfig::paper_16core();
+        c.validate();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.mesh_width * c.mesh_height, 16);
+    }
+
+    #[test]
+    fn with_cores_picks_squarest_mesh() {
+        let c = SystemConfig::paper_16core().with_cores(8);
+        c.validate();
+        assert_eq!((c.mesh_width, c.mesh_height), (2, 4));
+        let c = SystemConfig::paper_16core().with_cores(9);
+        assert_eq!((c.mesh_width, c.mesh_height), (3, 3));
+        let c = SystemConfig::paper_16core().with_cores(7);
+        assert_eq!((c.mesh_width, c.mesh_height), (1, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn with_cores_rejects_zero() {
+        let _ = SystemConfig::paper_16core().with_cores(0);
+    }
+
+    #[test]
+    fn design_point_wiring_converts_ns_to_cycles() {
+        let tech = silo_dram::TechnologyParams::default();
+        let sweep = silo_dram::VaultSweep::default();
+        let p = sweep.latency_optimized(&tech, 0.25).expect("design point");
+        let c = SystemConfig::paper_16core().with_design_point(&p);
+        // ~5.5 ns array + 1 ns controller at 2 GHz: low teens of cycles.
+        assert!(
+            (8..=20).contains(&c.vault_access.as_u64()),
+            "vault access {}",
+            c.vault_access
+        );
+        assert!(c.vault_capacity.as_bytes() >= ByteSize::from_mib(128).as_bytes());
+        assert!(c.vault_banks > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! `silo-sim`: the timing core of the SILO reproduction.
+//!
+//! The coherence engines in `silo-coherence` are functional: each access
+//! yields an [`silo_coherence::AccessResult`] listing the critical-path
+//! protocol steps and the background work. This crate prices those steps
+//! — mesh hops through `silo-noc`, DRAM bank occupancy through
+//! `silo-dram`'s next-free-time reservations — models per-core miss
+//! overlap from [`silo_types::MemRef`]'s `gap_instructions`/`dependent`
+//! fields, and aggregates `silo_types::stats` into per-workload results.
+//!
+//! The `silo-sim` binary runs SILO ([`silo_coherence::PrivateMoesi`])
+//! against the shared-LLC baseline ([`silo_coherence::SharedMesi`]) over
+//! deterministic synthetic scale-out workloads and prints a Fig. 11-style
+//! normalized-performance table.
+
+pub mod config;
+pub mod report;
+pub mod run;
+pub mod timing;
+pub mod workload;
+
+pub use config::SystemConfig;
+pub use report::{print_comparison, Comparison};
+pub use run::{run, run_baseline, run_silo, Protocol, RunStats, ServedCounts};
+pub use timing::TimingModel;
+pub use workload::{Rng, WorkloadSpec};

@@ -1,0 +1,155 @@
+//! `silo-sim` CLI: run SILO vs. the shared-LLC baseline on synthetic
+//! scale-out workloads and print a Fig. 11-style speedup table.
+
+use silo_sim::{print_comparison, Comparison, SystemConfig, WorkloadSpec};
+
+const USAGE: &str = "\
+silo-sim: SILO private die-stacked DRAM caches vs. a shared NUCA LLC
+
+USAGE:
+    silo-sim [OPTIONS]
+
+OPTIONS:
+    --cores N            cores / mesh nodes (default 16, max 64)
+    --refs N             references per core (default: per-workload preset)
+    --scale N            capacity scaling factor for caches AND working
+                         sets (default 64; 1 = full 256 MiB vaults)
+    --seed N             workload RNG seed (default 42)
+    --mlp N              MSHRs per core (default 8)
+    --workloads a,b,c    comma-separated subset of the presets
+    --vault-design KIND  derive the vault from the silo-dram sweep:
+                         'latency' (256 MiB-class) or 'capacity'
+                         (512 MiB-class) (default: Table II constants)
+    --list               list workload presets and exit
+    --help               show this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        fail(&format!("{flag} needs a value"));
+    };
+    match v.parse() {
+        Ok(x) => x,
+        Err(_) => fail(&format!("bad value '{v}' for {flag}")),
+    }
+}
+
+fn main() {
+    let mut cfg = SystemConfig::paper_16core();
+    let mut specs = WorkloadSpec::all();
+    let mut refs_override: Option<usize> = None;
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cores" => {
+                let cores: usize = parse("--cores", args.next());
+                if !(1..=64).contains(&cores) {
+                    fail("--cores must be in [1, 64] (directory masks are u64)");
+                }
+                cfg = cfg.with_cores(cores);
+            }
+            "--refs" => {
+                let refs: usize = parse("--refs", args.next());
+                if refs == 0 {
+                    fail("--refs must be at least 1");
+                }
+                refs_override = Some(refs);
+            }
+            "--scale" => {
+                cfg.scale = parse("--scale", args.next());
+                if cfg.scale == 0 {
+                    fail("--scale must be at least 1");
+                }
+            }
+            "--seed" => seed = parse("--seed", args.next()),
+            "--mlp" => {
+                cfg.mlp = parse("--mlp", args.next());
+                if cfg.mlp == 0 {
+                    fail("--mlp must be at least 1");
+                }
+            }
+            "--workloads" => {
+                let names: String = parse("--workloads", args.next());
+                specs = names
+                    .split(',')
+                    .map(|n| {
+                        WorkloadSpec::by_name(n.trim())
+                            .unwrap_or_else(|| fail(&format!("unknown workload '{n}'")))
+                    })
+                    .collect();
+            }
+            "--vault-design" => {
+                let kind: String = parse("--vault-design", args.next());
+                let tech = silo_dram::TechnologyParams::default();
+                let sweep = silo_dram::VaultSweep::default();
+                let point = match kind.as_str() {
+                    "latency" => sweep.latency_optimized(&tech, 0.25),
+                    "capacity" => sweep.capacity_optimized(&tech),
+                    other => fail(&format!("unknown vault design '{other}'")),
+                };
+                let Some(p) = point else {
+                    fail("vault sweep produced no feasible design");
+                };
+                cfg = cfg.with_design_point(&p);
+                println!(
+                    "vault design ({kind}-optimized): {} ({} MiB bucket), {:.2} ns array, {} banks",
+                    silo_types::ByteSize::from_bytes(p.capacity_bytes),
+                    p.capacity_bucket_mib(),
+                    p.latency_ns,
+                    p.config.banks_per_vault(),
+                );
+            }
+            "--list" => {
+                for w in WorkloadSpec::all() {
+                    println!(
+                        "{:<16} {:>6} refs/core  shared {:>4.0}%  writes {:>4.0}%  zipf {:.1}",
+                        w.name,
+                        w.refs_per_core,
+                        100.0 * w.shared_fraction,
+                        100.0 * w.write_fraction,
+                        w.zipf_theta
+                    );
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown option '{other}'")),
+        }
+    }
+    cfg.validate();
+    if specs.is_empty() {
+        fail("no workloads selected");
+    }
+    if let Some(refs) = refs_override {
+        for s in &mut specs {
+            s.refs_per_core = refs;
+        }
+    }
+
+    println!(
+        "simulating {} cores on a {}x{} mesh (scale 1/{}, vault {}, LLC {}, seed {seed})",
+        cfg.cores, cfg.mesh_width, cfg.mesh_height, cfg.scale, cfg.vault_capacity, cfg.llc_capacity
+    );
+    println!();
+
+    let results: Vec<Comparison> = specs
+        .iter()
+        .map(|spec| Comparison {
+            silo: silo_sim::run_silo(&cfg, spec, seed),
+            baseline: silo_sim::run_baseline(&cfg, spec, seed),
+        })
+        .collect();
+
+    print_comparison(&results);
+}

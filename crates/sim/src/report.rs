@@ -1,0 +1,91 @@
+//! Fig. 11-style result tables.
+//!
+//! For every workload the report shows, per system, the throughput (IPC),
+//! where accesses were served, and the mean LLC-access latency; the
+//! closing table gives SILO's normalized performance per workload and the
+//! geomean across workloads — the headline number of the paper's Fig. 11.
+
+use crate::run::RunStats;
+use silo_coherence::ServedBy;
+use silo_types::geomean;
+
+/// A matched (SILO, baseline) pair for one workload.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// SILO run.
+    pub silo: RunStats,
+    /// Shared-LLC baseline run.
+    pub baseline: RunStats,
+}
+
+impl Comparison {
+    /// SILO performance normalized to the baseline (>1 means faster).
+    pub fn speedup(&self) -> f64 {
+        self.silo.ipc() / self.baseline.ipc()
+    }
+}
+
+/// Renders one run as a table row.
+fn row(s: &RunStats) -> String {
+    format!(
+        "{:<16} {:>8} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
+        s.workload,
+        s.system,
+        s.ipc(),
+        100.0 * s.served.fraction(ServedBy::L1),
+        100.0 * s.served.fraction(ServedBy::LocalVault),
+        100.0 * s.served.fraction(ServedBy::RemoteVault),
+        100.0 * s.served.fraction(ServedBy::SharedLlc),
+        100.0 * s.served.fraction(ServedBy::Memory),
+        s.mean_llc_latency(),
+        s.llc_accesses,
+    )
+}
+
+/// Prints the per-workload detail table and the Fig. 11-style normalized
+/// performance summary. Returns the geomean speedup.
+pub fn print_comparison(results: &[Comparison]) -> f64 {
+    println!(
+        "{:<16} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
+        "workload", "system", "IPC", "L1", "vault", "remote", "LLC", "mem", "LLC-lat", "LLC-acc"
+    );
+    println!("{}", "-".repeat(96));
+    for c in results {
+        println!("{}", row(&c.silo));
+        println!("{}", row(&c.baseline));
+    }
+
+    println!();
+    println!("normalized performance (SILO / shared-LLC baseline, Fig. 11):");
+    let speedups: Vec<f64> = results.iter().map(Comparison::speedup).collect();
+    for (c, s) in results.iter().zip(&speedups) {
+        println!("  {:<16} {:>5.2}x", c.silo.workload, s);
+    }
+    let g = geomean(&speedups);
+    println!("  {:<16} {:>5.2}x", "geomean", g);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::run::{run_baseline, run_silo};
+    use crate::workload::WorkloadSpec;
+
+    #[test]
+    fn comparison_speedup_and_report_run() {
+        let cfg = SystemConfig::paper_16core().with_cores(4);
+        let spec = WorkloadSpec {
+            refs_per_core: 1_000,
+            ..WorkloadSpec::uniform_private()
+        };
+        let c = Comparison {
+            silo: run_silo(&cfg, &spec, 1),
+            baseline: run_baseline(&cfg, &spec, 1),
+        };
+        assert!(c.speedup() > 0.0);
+        let g = print_comparison(&[c]);
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Deterministic synthetic scale-out workload generators.
+//!
+//! The paper evaluates CloudSuite-style scale-out services: large
+//! instruction footprints, per-request private data that dwarfs any SRAM
+//! LLC, and a modest read-mostly shared region (Sec. II-B, Fig. 2-4).
+//! These generators reproduce those properties synthetically and
+//! deterministically — same seed, same trace — so runs are reproducible
+//! and the two systems see byte-identical reference streams.
+//!
+//! Address-space carving (line addresses): each core's private heap lives
+//! at `(core + 1) << 32`, its code region at `(core + 1) << 24 | 1 << 44`,
+//! and the shared region at `1 << 52`. Regions never overlap.
+
+use silo_types::{AccessKind, LineAddr, MemRef};
+
+/// SplitMix64: a tiny, high-quality deterministic generator.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+/// Zipf sampler over `[0, n)` with skew `theta` via inverse-CDF lookup.
+#[derive(Clone, Debug)]
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// A synthetic workload: region sizes, mix ratios, and memory-level
+/// parallelism character.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// References generated per core.
+    pub refs_per_core: usize,
+    /// Private heap working set per core, in lines (after scaling).
+    pub private_lines: u64,
+    /// Shared-region size in lines (after scaling).
+    pub shared_lines: u64,
+    /// Instruction footprint per core, in lines (after scaling).
+    pub code_lines: u64,
+    /// Fraction of data references into the shared region.
+    pub shared_fraction: f64,
+    /// Fraction of references that are instruction fetches.
+    pub ifetch_fraction: f64,
+    /// Fraction of data references that are writes.
+    pub write_fraction: f64,
+    /// Fraction of references that depend on the previous miss
+    /// (pointer-chasing behaviour; serialises misses).
+    pub dependent_fraction: f64,
+    /// Mean instructions between references (geometric-ish gap).
+    pub mean_gap: u32,
+    /// Zipf skew over the shared region (0.0 = uniform).
+    pub zipf_theta: f64,
+}
+
+impl WorkloadSpec {
+    /// Uniform accesses over a large private heap: the data-serving /
+    /// key-value store profile. Working sets dwarf any SRAM LLC but fit a
+    /// 256 MiB vault.
+    pub fn uniform_private() -> Self {
+        WorkloadSpec {
+            name: "uniform-private",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB64,
+            shared_lines: ByteLines::MIB4,
+            code_lines: 512,
+            shared_fraction: 0.05,
+            ifetch_fraction: 0.30,
+            write_fraction: 0.15,
+            dependent_fraction: 0.35,
+            mean_gap: 6,
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Zipf-skewed shared reads: the web-serving / front-end profile with
+    /// a hot, read-mostly shared document cache.
+    pub fn zipf_shared() -> Self {
+        WorkloadSpec {
+            name: "zipf-shared",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB32,
+            shared_lines: ByteLines::MIB16,
+            code_lines: 768,
+            shared_fraction: 0.30,
+            ifetch_fraction: 0.30,
+            write_fraction: 0.05,
+            dependent_fraction: 0.25,
+            mean_gap: 6,
+            zipf_theta: 0.9,
+        }
+    }
+
+    /// Private/shared mix with a meaningful write share: the streaming /
+    /// MapReduce-style profile where cores exchange partitions.
+    pub fn shared_mix() -> Self {
+        WorkloadSpec {
+            name: "shared-mix",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB48,
+            shared_lines: ByteLines::MIB8,
+            code_lines: 384,
+            shared_fraction: 0.15,
+            ifetch_fraction: 0.25,
+            write_fraction: 0.25,
+            dependent_fraction: 0.30,
+            mean_gap: 5,
+            zipf_theta: 0.6,
+        }
+    }
+
+    /// Pointer-chasing over a mid-size private heap: the graph / media
+    /// profile where dependent misses serialise.
+    pub fn pointer_chase() -> Self {
+        WorkloadSpec {
+            name: "pointer-chase",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB32,
+            shared_lines: ByteLines::MIB4,
+            code_lines: 256,
+            shared_fraction: 0.08,
+            ifetch_fraction: 0.15,
+            write_fraction: 0.10,
+            dependent_fraction: 0.70,
+            mean_gap: 3,
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// All built-in workloads, in report order.
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            Self::uniform_private(),
+            Self::zipf_shared(),
+            Self::shared_mix(),
+            Self::pointer_chase(),
+        ]
+    }
+
+    /// Looks a preset up by name.
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        Self::all().into_iter().find(|w| w.name == name)
+    }
+
+    /// Generates the per-core reference streams, deterministically from
+    /// `seed`. Region sizes are divided by `scale` (matching the cache
+    /// scaling of the systems), flooring at one line.
+    pub fn generate(&self, cores: usize, scale: u64, seed: u64) -> Vec<Vec<MemRef>> {
+        let private = (self.private_lines / scale).max(1);
+        let shared = (self.shared_lines / scale).max(1);
+        let code = (self.code_lines / scale.min(8)).max(16);
+        let zipf = if self.zipf_theta > 0.0 {
+            Some(Zipf::new(shared, self.zipf_theta))
+        } else {
+            None
+        };
+        (0..cores)
+            .map(|core| {
+                let mut rng = Rng::new(seed ^ (core as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+                let priv_base = (core as u64 + 1) << 32;
+                let code_base = (1u64 << 44) | ((core as u64 + 1) << 24);
+                let shared_base = 1u64 << 52;
+                (0..self.refs_per_core)
+                    .map(|_| {
+                        let gap = rng.below(2 * self.mean_gap as u64 + 1) as u32;
+                        if rng.chance(self.ifetch_fraction) {
+                            return MemRef {
+                                line: LineAddr::new(code_base + rng.below(code)),
+                                kind: AccessKind::IFetch,
+                                gap_instructions: gap,
+                                dependent: false,
+                            };
+                        }
+                        let (line, shared_ref) = if rng.chance(self.shared_fraction) {
+                            let off = match &zipf {
+                                Some(z) => z.sample(&mut rng),
+                                None => rng.below(shared),
+                            };
+                            (LineAddr::new(shared_base + off), true)
+                        } else {
+                            (LineAddr::new(priv_base + rng.below(private)), false)
+                        };
+                        // Writes to the shared region are rarer than the
+                        // overall write mix (read-mostly sharing, Fig. 4).
+                        let wf = if shared_ref {
+                            self.write_fraction * 0.4
+                        } else {
+                            self.write_fraction
+                        };
+                        MemRef {
+                            line,
+                            kind: if rng.chance(wf) {
+                                AccessKind::Write
+                            } else {
+                                AccessKind::Read
+                            },
+                            gap_instructions: gap,
+                            dependent: rng.chance(self.dependent_fraction),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Common region sizes expressed in 64-byte lines.
+struct ByteLines;
+
+impl ByteLines {
+    const MIB4: u64 = 4 * 1024 * 1024 / 64;
+    const MIB8: u64 = 8 * 1024 * 1024 / 64;
+    const MIB16: u64 = 16 * 1024 * 1024 / 64;
+    const MIB32: u64 = 32 * 1024 * 1024 / 64;
+    const MIB48: u64 = 48 * 1024 * 1024 / 64;
+    const MIB64: u64 = 64 * 1024 * 1024 / 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = Rng::new(11);
+        let mut head = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-1% of ranks should draw far more than 1% of samples.
+        assert!(head > N / 20, "only {head}/{N} samples in the head");
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sized() {
+        let spec = WorkloadSpec::uniform_private();
+        let a = spec.generate(4, 64, 42);
+        let b = spec.generate(4, 64, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|t| t.len() == spec.refs_per_core));
+        let c = spec.generate(4, 64, 43);
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn regions_do_not_overlap_across_cores() {
+        let spec = WorkloadSpec::shared_mix();
+        let traces = spec.generate(4, 64, 1);
+        let shared_base = 1u64 << 52;
+        for (core, trace) in traces.iter().enumerate() {
+            for r in trace {
+                let a = r.line.as_u64();
+                if a >= shared_base {
+                    continue; // shared region
+                }
+                if r.kind.is_ifetch() {
+                    assert_eq!((a >> 24) & 0xff, core as u64 + 1, "code region of {core}");
+                } else {
+                    assert_eq!(a >> 32, core as u64 + 1, "private region of {core}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_fraction_roughly_respected() {
+        let spec = WorkloadSpec::zipf_shared();
+        let traces = spec.generate(2, 64, 5);
+        let shared_base = 1u64 << 52;
+        let total: usize = traces.iter().map(Vec::len).sum();
+        let shared: usize = traces
+            .iter()
+            .flatten()
+            .filter(|r| r.line.as_u64() >= shared_base)
+            .count();
+        let frac = shared as f64 / total as f64;
+        // 30% of the 70% non-ifetch refs = 21% of all refs.
+        assert!((0.15..0.28).contains(&frac), "shared fraction {frac}");
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert!(WorkloadSpec::by_name("zipf-shared").is_some());
+        assert!(WorkloadSpec::by_name("nope").is_none());
+        assert!(WorkloadSpec::all().len() >= 3);
+    }
+}
