@@ -1,0 +1,334 @@
+//! Parallel sweep/bench harness.
+//!
+//! A [`SweepSpec`] spans the cartesian product of (workload × cores ×
+//! scale × mlp × vault design); every point runs both systems and yields
+//! a [`BenchRecord`]. Runs are deterministic and fully independent (each
+//! builds its own engines, timing model, and traces — see
+//! `silo_types::stats`), so [`run_sweep`] fans them out across OS
+//! threads with `std::thread::scope` and still returns results in point
+//! order, bit-identical to [`run_sweep_sequential`].
+//!
+//! [`sweep_json`] renders the records into the machine-readable
+//! `silo-bench/v1` schema via the dependency-free [`crate::json`]
+//! writer, capturing IPC, speedup, served-level fractions, LLC latency
+//! percentiles, and per-run wall-clock.
+
+use crate::config::{SystemConfig, VaultDesign};
+use crate::json::Json;
+use crate::report::Comparison;
+use crate::run::{run_baseline, run_silo, RunStats};
+use crate::workload::WorkloadSpec;
+use silo_coherence::ServedBy;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Version tag of the emitted JSON schema.
+pub const SCHEMA: &str = "silo-bench/v1";
+
+/// The swept dimensions. Single-element vectors degenerate to a classic
+/// per-workload comparison run.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Template config; per-point dimensions override it.
+    pub base: SystemConfig,
+    /// Core counts to sweep.
+    pub cores: Vec<usize>,
+    /// Capacity-scaling factors to sweep.
+    pub scales: Vec<u64>,
+    /// MSHR counts to sweep.
+    pub mlps: Vec<usize>,
+    /// Vault designs to sweep.
+    pub vaults: Vec<VaultDesign>,
+    /// Workloads to run at every point.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Workload RNG seed (shared by all points).
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Expands the cartesian product, workload-major so a degenerate
+    /// sweep preserves the classic report order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
+        for w in &self.workloads {
+            for &cores in &self.cores {
+                for &scale in &self.scales {
+                    for &mlp in &self.mlps {
+                        for &vault in &self.vaults {
+                            points.push(SweepPoint {
+                                cores,
+                                scale,
+                                mlp,
+                                vault,
+                                workload: w.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+/// One point of the sweep: a workload plus the config overrides.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Core count.
+    pub cores: usize,
+    /// Capacity-scaling factor.
+    pub scale: u64,
+    /// MSHRs per core.
+    pub mlp: usize,
+    /// Vault design.
+    pub vault: VaultDesign,
+    /// Workload run at this point.
+    pub workload: WorkloadSpec,
+}
+
+impl SweepPoint {
+    /// The fully resolved config for this point.
+    pub fn config(&self, base: &SystemConfig) -> SystemConfig {
+        let mut cfg = self.vault.apply(base.with_cores(self.cores));
+        cfg.scale = self.scale;
+        cfg.mlp = self.mlp;
+        cfg
+    }
+}
+
+/// The outcome of one sweep point: both systems' stats plus wall-clock.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// The point that produced this record.
+    pub point: SweepPoint,
+    /// The (SILO, baseline) run pair.
+    pub cmp: Comparison,
+    /// Host wall-clock of the SILO run, in milliseconds.
+    pub silo_wall_ms: f64,
+    /// Host wall-clock of the baseline run, in milliseconds.
+    pub baseline_wall_ms: f64,
+}
+
+/// Runs one sweep point (both systems) and times it.
+pub fn run_point(base: &SystemConfig, point: &SweepPoint, seed: u64) -> BenchRecord {
+    let cfg = point.config(base);
+    cfg.validate();
+    let t = Instant::now();
+    let silo = run_silo(&cfg, &point.workload, seed);
+    let silo_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let baseline = run_baseline(&cfg, &point.workload, seed);
+    let baseline_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    BenchRecord {
+        point: point.clone(),
+        cmp: Comparison { silo, baseline },
+        silo_wall_ms,
+        baseline_wall_ms,
+    }
+}
+
+/// Runs every point on the calling thread, in point order.
+pub fn run_sweep_sequential(spec: &SweepSpec) -> Vec<BenchRecord> {
+    spec.points()
+        .iter()
+        .map(|p| run_point(&spec.base, p, spec.seed))
+        .collect()
+}
+
+/// Fans the points out across up to `threads` OS threads (work-stealing
+/// off a shared index) and returns the records in point order. Simulated
+/// results are bit-identical to [`run_sweep_sequential`]; only the
+/// wall-clock fields depend on the host.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<BenchRecord> {
+    let points = spec.points();
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, points.len());
+    if workers == 1 {
+        return run_sweep_sequential(spec);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BenchRecord>>> =
+        (0..points.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(i) else { break };
+                let record = run_point(&spec.base, point, spec.seed);
+                *slots[i].lock().expect("result slot poisoned") = Some(record);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every point filled its slot")
+        })
+        .collect()
+}
+
+fn served_json(s: &RunStats) -> Json {
+    let frac = |level| Json::Num(s.served.fraction(level));
+    Json::Obj(vec![
+        ("l1".into(), frac(ServedBy::L1)),
+        ("l2".into(), frac(ServedBy::L2)),
+        ("local_vault".into(), frac(ServedBy::LocalVault)),
+        ("remote_vault".into(), frac(ServedBy::RemoteVault)),
+        ("shared_llc".into(), frac(ServedBy::SharedLlc)),
+        ("memory".into(), frac(ServedBy::Memory)),
+    ])
+}
+
+fn latency_json(s: &RunStats) -> Json {
+    let p = |q| Json::Int(s.llc_latency.percentile(q) as i128);
+    Json::Obj(vec![
+        ("mean".into(), Json::Num(s.mean_llc_latency())),
+        ("p50".into(), p(0.50)),
+        ("p95".into(), p(0.95)),
+        ("p99".into(), p(0.99)),
+        ("max".into(), Json::Int(s.llc_latency.max() as i128)),
+    ])
+}
+
+fn system_json(s: &RunStats, wall_ms: f64) -> Json {
+    Json::Obj(vec![
+        ("system".into(), Json::Str(s.system.into())),
+        ("ipc".into(), Json::Num(s.ipc())),
+        ("instructions".into(), Json::Int(s.instructions as i128)),
+        ("cycles".into(), Json::Int(s.cycles.as_u64() as i128)),
+        ("llc_accesses".into(), Json::Int(s.llc_accesses as i128)),
+        ("mesh_messages".into(), Json::Int(s.mesh_messages as i128)),
+        ("served".into(), served_json(s)),
+        ("llc_latency".into(), latency_json(s)),
+        ("wall_ms".into(), Json::Num(wall_ms)),
+    ])
+}
+
+/// Renders one record as a JSON point object.
+pub fn record_json(r: &BenchRecord) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.point.workload.name.into())),
+        ("cores".into(), Json::Int(r.point.cores as i128)),
+        ("scale".into(), Json::Int(r.point.scale as i128)),
+        ("mlp".into(), Json::Int(r.point.mlp as i128)),
+        (
+            "vault_design".into(),
+            Json::Str(r.point.vault.name().into()),
+        ),
+        ("speedup".into(), Json::Num(r.cmp.speedup())),
+        ("silo".into(), system_json(&r.cmp.silo, r.silo_wall_ms)),
+        (
+            "baseline".into(),
+            system_json(&r.cmp.baseline, r.baseline_wall_ms),
+        ),
+    ])
+}
+
+/// Renders a full sweep into the `silo-bench/v1` document.
+pub fn sweep_json(records: &[BenchRecord], seed: u64) -> Json {
+    let speedups: Vec<f64> = records.iter().map(|r| r.cmp.speedup()).collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("seed".into(), Json::Int(seed as i128)),
+        (
+            "geomean_speedup".into(),
+            Json::Num(silo_types::geomean(&speedups)),
+        ),
+        (
+            "points".into(),
+            Json::Arr(records.iter().map(record_json).collect()),
+        ),
+    ])
+}
+
+/// Writes the `silo-bench/v1` document to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_json_file(
+    path: &std::path::Path,
+    records: &[BenchRecord],
+    seed: u64,
+) -> std::io::Result<()> {
+    std::fs::write(path, format!("{}\n", sweep_json(records, seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            base: SystemConfig::paper_16core(),
+            cores: vec![2],
+            scales: vec![64, 128],
+            mlps: vec![4],
+            vaults: vec![VaultDesign::Table2],
+            workloads: vec![WorkloadSpec {
+                refs_per_core: 500,
+                ..WorkloadSpec::uniform_private()
+            }],
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn points_expand_the_cartesian_product() {
+        let mut spec = tiny_spec();
+        spec.cores = vec![2, 4];
+        spec.vaults = vec![VaultDesign::Table2, VaultDesign::Capacity];
+        let points = spec.points();
+        assert_eq!(points.len(), 2 * 2 * 2);
+        // Workload-major, then cores, scale, mlp, vault.
+        assert_eq!(points[0].cores, 2);
+        assert_eq!(points[0].vault, VaultDesign::Table2);
+        assert_eq!(points[1].vault, VaultDesign::Capacity);
+    }
+
+    #[test]
+    fn point_config_applies_overrides() {
+        let spec = tiny_spec();
+        let p = &spec.points()[1];
+        let cfg = p.config(&spec.base);
+        assert_eq!(cfg.cores, 2);
+        assert_eq!(cfg.scale, 128);
+        assert_eq!(cfg.mlp, 4);
+        cfg.validate();
+    }
+
+    #[test]
+    fn sweep_records_carry_both_systems() {
+        let spec = tiny_spec();
+        let records = run_sweep_sequential(&spec);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.cmp.silo.system, "SILO");
+            assert_eq!(r.cmp.baseline.system, "baseline");
+            assert!(r.cmp.silo.instructions > 0);
+            assert!(r.silo_wall_ms >= 0.0 && r.baseline_wall_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_json_has_schema_and_points() {
+        let spec = tiny_spec();
+        let records = run_sweep_sequential(&spec);
+        let doc = sweep_json(&records, spec.seed);
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(doc.get("seed").and_then(Json::as_i64), Some(5));
+        let points = doc.get("points").and_then(Json::as_arr).expect("points");
+        assert_eq!(points.len(), records.len());
+        let ipc = points[0]
+            .get("silo")
+            .and_then(|s| s.get("ipc"))
+            .and_then(Json::as_f64)
+            .expect("ipc");
+        assert!((ipc - records[0].cmp.silo.ipc()).abs() < 1e-12);
+    }
+}

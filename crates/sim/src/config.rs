@@ -5,6 +5,69 @@ use silo_coherence::NodeSpec;
 use silo_dram::DesignPoint;
 use silo_types::{ByteSize, Cycles};
 
+/// Named vault-design selection, shared by the CLI and the sweep
+/// harness: either the Table II constants or a point derived from the
+/// `silo-dram` design-space sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VaultDesign {
+    /// The Table II constants baked into [`SystemConfig::paper_16core`].
+    Table2,
+    /// The latency-optimized sweep point (256 MiB-class, Table I).
+    Latency,
+    /// The capacity-optimized sweep point (512 MiB-class).
+    Capacity,
+}
+
+impl VaultDesign {
+    /// Parses a CLI / sweep-list name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "table2" => Some(VaultDesign::Table2),
+            "latency" => Some(VaultDesign::Latency),
+            "capacity" => Some(VaultDesign::Capacity),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (inverse of [`VaultDesign::parse`]).
+    pub const fn name(self) -> &'static str {
+        match self {
+            VaultDesign::Table2 => "table2",
+            VaultDesign::Latency => "latency",
+            VaultDesign::Capacity => "capacity",
+        }
+    }
+
+    /// The `silo-dram` design point backing this selection; `None` for
+    /// [`VaultDesign::Table2`] (constants, no sweep) or when the sweep
+    /// yields no feasible design.
+    pub fn design_point(self) -> Option<DesignPoint> {
+        let tech = silo_dram::TechnologyParams::default();
+        let sweep = silo_dram::VaultSweep::default();
+        match self {
+            VaultDesign::Table2 => None,
+            VaultDesign::Latency => sweep.latency_optimized(&tech, 0.25),
+            VaultDesign::Capacity => sweep.capacity_optimized(&tech),
+        }
+    }
+
+    /// Applies this design to a config (identity for Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep yields no feasible design; CLI paths validate
+    /// with [`VaultDesign::design_point`] first.
+    pub fn apply(self, cfg: SystemConfig) -> SystemConfig {
+        if self == VaultDesign::Table2 {
+            return cfg;
+        }
+        let p = self
+            .design_point()
+            .expect("vault sweep produced no feasible design");
+        cfg.with_design_point(&p)
+    }
+}
+
 /// Every knob of one simulated machine. The same config drives both the
 /// SILO system and the shared-LLC baseline so comparisons are apples to
 /// apples.
@@ -161,6 +224,38 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn with_cores_rejects_zero() {
         let _ = SystemConfig::paper_16core().with_cores(0);
+    }
+
+    #[test]
+    fn vault_design_names_round_trip() {
+        for d in [
+            VaultDesign::Table2,
+            VaultDesign::Latency,
+            VaultDesign::Capacity,
+        ] {
+            assert_eq!(VaultDesign::parse(d.name()), Some(d));
+        }
+        assert_eq!(VaultDesign::parse("bogus"), None);
+    }
+
+    #[test]
+    fn vault_design_apply_matches_design_point() {
+        let base = SystemConfig::paper_16core();
+        let same = VaultDesign::Table2.apply(base);
+        assert_eq!(
+            same.vault_capacity.as_bytes(),
+            base.vault_capacity.as_bytes()
+        );
+        assert_eq!(same.vault_access, base.vault_access);
+
+        let cap = VaultDesign::Capacity;
+        let p = cap.design_point().expect("capacity point");
+        let applied = cap.apply(base);
+        assert_eq!(
+            applied.vault_capacity.as_bytes(),
+            ByteSize::from_mib(p.capacity_bucket_mib()).as_bytes()
+        );
+        assert_eq!(applied.vault_banks, p.config.banks_per_vault() as usize);
     }
 
     #[test]

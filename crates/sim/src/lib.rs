@@ -11,16 +11,23 @@
 //! The `silo-sim` binary runs SILO ([`silo_coherence::PrivateMoesi`])
 //! against the shared-LLC baseline ([`silo_coherence::SharedMesi`]) over
 //! deterministic synthetic scale-out workloads and prints a Fig. 11-style
-//! normalized-performance table.
+//! normalized-performance table. The [`bench`] module fans sweeps over
+//! (workload × cores × scale × mlp × vault design) out across OS threads
+//! and emits machine-readable `silo-bench/v1` JSON through the
+//! dependency-free [`json`] module.
 
+pub mod bench;
 pub mod config;
+pub mod json;
 pub mod report;
 pub mod run;
 pub mod timing;
 pub mod workload;
 
-pub use config::SystemConfig;
-pub use report::{print_comparison, Comparison};
+pub use bench::{run_sweep, run_sweep_sequential, BenchRecord, SweepPoint, SweepSpec};
+pub use config::{SystemConfig, VaultDesign};
+pub use json::Json;
+pub use report::{print_comparison, render_comparison, render_row, Comparison};
 pub use run::{run, run_baseline, run_silo, Protocol, RunStats, ServedCounts};
 pub use timing::TimingModel;
 pub use workload::{Rng, WorkloadSpec};

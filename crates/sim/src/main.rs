@@ -1,7 +1,12 @@
 //! `silo-sim` CLI: run SILO vs. the shared-LLC baseline on synthetic
-//! scale-out workloads and print a Fig. 11-style speedup table.
+//! scale-out workloads, either as a single Fig. 11-style comparison or
+//! as a parallel sweep over (cores × scale × mlp × vault design) with
+//! machine-readable JSON output.
 
-use silo_sim::{print_comparison, Comparison, SystemConfig, WorkloadSpec};
+use silo_sim::bench::{self, SweepSpec};
+use silo_sim::{print_comparison, Comparison, SystemConfig, VaultDesign, WorkloadSpec};
+use std::path::PathBuf;
+use std::time::Instant;
 
 const USAGE: &str = "\
 silo-sim: SILO private die-stacked DRAM caches vs. a shared NUCA LLC
@@ -18,10 +23,23 @@ OPTIONS:
     --mlp N              MSHRs per core (default 8)
     --workloads a,b,c    comma-separated subset of the presets
     --vault-design KIND  derive the vault from the silo-dram sweep:
-                         'latency' (256 MiB-class) or 'capacity'
-                         (512 MiB-class) (default: Table II constants)
+                         'latency' (256 MiB-class), 'capacity'
+                         (512 MiB-class), or 'table2' (the Table II
+                         constants, default)
     --list               list workload presets and exit
     --help               show this help
+
+SWEEP MODE (any --sweep* flag enables it):
+    --sweep              sweep the cartesian product of the dimensions
+                         below across worker threads
+    --sweep-cores LIST   core counts, e.g. 4,8,16 (default: --cores)
+    --sweep-scale LIST   scale factors, e.g. 32,64 (default: --scale)
+    --sweep-mlp LIST     MSHR counts, e.g. 4,8 (default: --mlp)
+    --sweep-vault LIST   vault designs from {table2,latency,capacity}
+                         (default: --vault-design)
+    --threads N          worker threads (default: available parallelism,
+                         at least 4)
+    --json PATH          write silo-bench/v1 JSON (works in both modes)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -40,11 +58,46 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     }
 }
 
+/// Parses a comma-separated list, skipping empty segments (so `a,,b`
+/// and trailing commas are fine) and rejecting duplicates.
+fn parse_list<T: std::str::FromStr + PartialEq>(flag: &str, value: Option<String>) -> Vec<T> {
+    let raw: String = parse(flag, value);
+    let mut out: Vec<T> = Vec::new();
+    for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let Ok(v) = part.parse() else {
+            fail(&format!("bad value '{part}' for {flag}"));
+        };
+        if out.contains(&v) {
+            fail(&format!("duplicate value '{part}' for {flag}"));
+        }
+        out.push(v);
+    }
+    if out.is_empty() {
+        fail(&format!("{flag} needs at least one value"));
+    }
+    out
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(4)
+}
+
 fn main() {
     let mut cfg = SystemConfig::paper_16core();
     let mut specs = WorkloadSpec::all();
     let mut refs_override: Option<usize> = None;
     let mut seed = 42u64;
+    let mut vault = VaultDesign::Table2;
+    let mut sweep = false;
+    let mut sweep_cores: Option<Vec<usize>> = None;
+    let mut sweep_scales: Option<Vec<u64>> = None;
+    let mut sweep_mlps: Option<Vec<usize>> = None;
+    let mut sweep_vaults: Option<Vec<VaultDesign>> = None;
+    let mut threads: Option<usize> = None;
+    let mut json_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,40 +130,94 @@ fn main() {
                 }
             }
             "--workloads" => {
-                let names: String = parse("--workloads", args.next());
+                let names: Vec<String> = parse_list("--workloads", args.next());
                 specs = names
-                    .split(',')
+                    .iter()
                     .map(|n| {
-                        WorkloadSpec::by_name(n.trim())
+                        WorkloadSpec::by_name(n)
                             .unwrap_or_else(|| fail(&format!("unknown workload '{n}'")))
                     })
                     .collect();
             }
             "--vault-design" => {
                 let kind: String = parse("--vault-design", args.next());
-                let tech = silo_dram::TechnologyParams::default();
-                let sweep = silo_dram::VaultSweep::default();
-                let point = match kind.as_str() {
-                    "latency" => sweep.latency_optimized(&tech, 0.25),
-                    "capacity" => sweep.capacity_optimized(&tech),
-                    other => fail(&format!("unknown vault design '{other}'")),
+                let Some(v) = VaultDesign::parse(&kind) else {
+                    fail(&format!("unknown vault design '{kind}'"));
                 };
-                let Some(p) = point else {
-                    fail("vault sweep produced no feasible design");
-                };
-                cfg = cfg.with_design_point(&p);
-                println!(
-                    "vault design ({kind}-optimized): {} ({} MiB bucket), {:.2} ns array, {} banks",
-                    silo_types::ByteSize::from_bytes(p.capacity_bytes),
-                    p.capacity_bucket_mib(),
-                    p.latency_ns,
-                    p.config.banks_per_vault(),
-                );
+                vault = v;
+                if vault != VaultDesign::Table2 {
+                    let Some(p) = vault.design_point() else {
+                        fail("vault sweep produced no feasible design");
+                    };
+                    println!(
+                        "vault design ({kind}-optimized): {} ({} MiB bucket), {:.2} ns array, {} banks",
+                        silo_types::ByteSize::from_bytes(p.capacity_bytes),
+                        p.capacity_bucket_mib(),
+                        p.latency_ns,
+                        p.config.banks_per_vault(),
+                    );
+                }
+            }
+            "--sweep" => sweep = true,
+            "--sweep-cores" => {
+                let cores: Vec<usize> = parse_list("--sweep-cores", args.next());
+                if cores.iter().any(|c| !(1..=64).contains(c)) {
+                    fail("--sweep-cores values must be in [1, 64]");
+                }
+                sweep_cores = Some(cores);
+                sweep = true;
+            }
+            "--sweep-scale" => {
+                let scales: Vec<u64> = parse_list("--sweep-scale", args.next());
+                if scales.contains(&0) {
+                    fail("--sweep-scale values must be at least 1");
+                }
+                sweep_scales = Some(scales);
+                sweep = true;
+            }
+            "--sweep-mlp" => {
+                let mlps: Vec<usize> = parse_list("--sweep-mlp", args.next());
+                if mlps.contains(&0) {
+                    fail("--sweep-mlp values must be at least 1");
+                }
+                sweep_mlps = Some(mlps);
+                sweep = true;
+            }
+            "--sweep-vault" => {
+                let names: Vec<String> = parse_list("--sweep-vault", args.next());
+                let vaults: Vec<VaultDesign> = names
+                    .iter()
+                    .map(|n| {
+                        VaultDesign::parse(n)
+                            .unwrap_or_else(|| fail(&format!("unknown vault design '{n}'")))
+                    })
+                    .collect();
+                for v in &vaults {
+                    if *v != VaultDesign::Table2 && v.design_point().is_none() {
+                        fail(&format!(
+                            "vault sweep has no feasible '{}' design",
+                            v.name()
+                        ));
+                    }
+                }
+                sweep_vaults = Some(vaults);
+                sweep = true;
+            }
+            "--threads" => {
+                let t: usize = parse("--threads", args.next());
+                if t == 0 {
+                    fail("--threads must be at least 1");
+                }
+                threads = Some(t);
+            }
+            "--json" => {
+                let p: String = parse("--json", args.next());
+                json_path = Some(PathBuf::from(p));
             }
             "--list" => {
                 for w in WorkloadSpec::all() {
                     println!(
-                        "{:<16} {:>6} refs/core  shared {:>4.0}%  writes {:>4.0}%  zipf {:.1}",
+                        "{:<18} {:>6} refs/core  shared {:>4.0}%  writes {:>4.0}%  zipf {:.1}",
                         w.name,
                         w.refs_per_core,
                         100.0 * w.shared_fraction,
@@ -137,19 +244,100 @@ fn main() {
         }
     }
 
+    let spec = SweepSpec {
+        base: cfg,
+        cores: sweep_cores.unwrap_or_else(|| vec![cfg.cores]),
+        scales: sweep_scales.unwrap_or_else(|| vec![cfg.scale]),
+        mlps: sweep_mlps.unwrap_or_else(|| vec![cfg.mlp]),
+        vaults: sweep_vaults.unwrap_or_else(|| vec![vault]),
+        workloads: specs,
+        seed,
+    };
+
+    let records = if sweep {
+        run_sweep_mode(&spec, threads.unwrap_or_else(default_threads))
+    } else {
+        run_classic_mode(&spec, threads.unwrap_or(1))
+    };
+
+    if let Some(path) = json_path {
+        if let Err(e) = bench::write_json_file(&path, &records, seed) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {} points to {}", records.len(), path.display());
+    }
+}
+
+/// The classic Fig. 11 comparison: the degenerate sweep, one point per
+/// workload, printed as the detail table + normalized summary.
+fn run_classic_mode(spec: &SweepSpec, threads: usize) -> Vec<bench::BenchRecord> {
+    // Classic mode has exactly one vault design; apply it so the banner
+    // reports the capacity the points actually simulate.
+    let cfg = spec
+        .vaults
+        .first()
+        .copied()
+        .map_or(spec.base, |v| v.apply(spec.base));
     println!(
-        "simulating {} cores on a {}x{} mesh (scale 1/{}, vault {}, LLC {}, seed {seed})",
-        cfg.cores, cfg.mesh_width, cfg.mesh_height, cfg.scale, cfg.vault_capacity, cfg.llc_capacity
+        "simulating {} cores on a {}x{} mesh (scale 1/{}, vault {}, LLC {}, seed {})",
+        cfg.cores,
+        cfg.mesh_width,
+        cfg.mesh_height,
+        cfg.scale,
+        cfg.vault_capacity,
+        cfg.llc_capacity,
+        spec.seed
     );
     println!();
-
-    let results: Vec<Comparison> = specs
-        .iter()
-        .map(|spec| Comparison {
-            silo: silo_sim::run_silo(&cfg, spec, seed),
-            baseline: silo_sim::run_baseline(&cfg, spec, seed),
-        })
-        .collect();
-
+    let records = bench::run_sweep(spec, threads);
+    let results: Vec<Comparison> = records.iter().map(|r| r.cmp.clone()).collect();
     print_comparison(&results);
+    records
+}
+
+/// Sweep mode: one compact row per point plus the geomean speedup.
+fn run_sweep_mode(spec: &SweepSpec, threads: usize) -> Vec<bench::BenchRecord> {
+    let n_points = spec.points().len();
+    let threads = threads.clamp(1, n_points.max(1));
+    println!(
+        "sweep: {n_points} points ({} workloads x {} cores x {} scales x {} mlp x {} vaults) on {threads} threads",
+        spec.workloads.len(),
+        spec.cores.len(),
+        spec.scales.len(),
+        spec.mlps.len(),
+        spec.vaults.len(),
+    );
+    let t0 = Instant::now();
+    let records = bench::run_sweep(spec, threads);
+    let wall = t0.elapsed().as_secs_f64();
+
+    let header = format!(
+        "{:<18} {:>5} {:>5} {:>4} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "workload", "cores", "scale", "mlp", "vault", "SILO-IPC", "base-IPC", "speedup", "wall(ms)"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.chars().count()));
+    let mut speedups = Vec::with_capacity(records.len());
+    for r in &records {
+        speedups.push(r.cmp.speedup());
+        println!(
+            "{:<18} {:>5} {:>5} {:>4} {:>9} {:>9.3} {:>9.3} {:>7.2}x {:>9.1}",
+            r.point.workload.name,
+            r.point.cores,
+            r.point.scale,
+            r.point.mlp,
+            r.point.vault.name(),
+            r.cmp.silo.ipc(),
+            r.cmp.baseline.ipc(),
+            r.cmp.speedup(),
+            r.silo_wall_ms + r.baseline_wall_ms,
+        );
+    }
+    println!();
+    println!(
+        "geomean speedup {:.2}x over {n_points} points in {wall:.2} s",
+        silo_types::geomean(&speedups)
+    );
+    records
 }

@@ -25,10 +25,12 @@ impl Comparison {
     }
 }
 
-/// Renders one run as a table row.
-fn row(s: &RunStats) -> String {
+/// Renders one run as a detail-table row (shared by the printed table
+/// and any textual report consumers; the JSON path reads the same
+/// [`RunStats`] accessors).
+pub fn render_row(s: &RunStats) -> String {
     format!(
-        "{:<16} {:>8} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
+        "{:<18} {:>8} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
         s.workload,
         s.system,
         s.ipc(),
@@ -42,27 +44,45 @@ fn row(s: &RunStats) -> String {
     )
 }
 
+/// Renders the per-workload detail table and the Fig. 11-style
+/// normalized performance summary into a string. Returns the text and
+/// the geomean speedup.
+pub fn render_comparison(results: &[Comparison]) -> (String, f64) {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let header = format!(
+        "{:<18} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
+        "workload", "system", "IPC", "L1", "vault", "remote", "LLC", "mem", "LLC-lat", "LLC-acc"
+    );
+    // The divider tracks the rendered header, so column changes never
+    // leave it too short or too long again.
+    let divider = "-".repeat(header.chars().count());
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{divider}");
+    for c in results {
+        let _ = writeln!(out, "{}", render_row(&c.silo));
+        let _ = writeln!(out, "{}", render_row(&c.baseline));
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "normalized performance (SILO / shared-LLC baseline, Fig. 11):"
+    );
+    let speedups: Vec<f64> = results.iter().map(Comparison::speedup).collect();
+    for (c, s) in results.iter().zip(&speedups) {
+        let _ = writeln!(out, "  {:<18} {:>5.2}x", c.silo.workload, s);
+    }
+    let g = geomean(&speedups);
+    let _ = writeln!(out, "  {:<18} {:>5.2}x", "geomean", g);
+    (out, g)
+}
+
 /// Prints the per-workload detail table and the Fig. 11-style normalized
 /// performance summary. Returns the geomean speedup.
 pub fn print_comparison(results: &[Comparison]) -> f64 {
-    println!(
-        "{:<16} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
-        "workload", "system", "IPC", "L1", "vault", "remote", "LLC", "mem", "LLC-lat", "LLC-acc"
-    );
-    println!("{}", "-".repeat(96));
-    for c in results {
-        println!("{}", row(&c.silo));
-        println!("{}", row(&c.baseline));
-    }
-
-    println!();
-    println!("normalized performance (SILO / shared-LLC baseline, Fig. 11):");
-    let speedups: Vec<f64> = results.iter().map(Comparison::speedup).collect();
-    for (c, s) in results.iter().zip(&speedups) {
-        println!("  {:<16} {:>5.2}x", c.silo.workload, s);
-    }
-    let g = geomean(&speedups);
-    println!("  {:<16} {:>5.2}x", "geomean", g);
+    let (text, g) = render_comparison(results);
+    print!("{text}");
     g
 }
 
@@ -87,5 +107,24 @@ mod tests {
         assert!(c.speedup() > 0.0);
         let g = print_comparison(&[c]);
         assert!(g > 0.0);
+    }
+
+    #[test]
+    fn divider_matches_header_width() {
+        let cfg = SystemConfig::paper_16core().with_cores(2);
+        let spec = WorkloadSpec {
+            refs_per_core: 200,
+            ..WorkloadSpec::uniform_private()
+        };
+        let c = Comparison {
+            silo: run_silo(&cfg, &spec, 1),
+            baseline: run_baseline(&cfg, &spec, 1),
+        };
+        let (text, _) = render_comparison(&[c]);
+        let mut lines = text.lines();
+        let header = lines.next().expect("header line");
+        let divider = lines.next().expect("divider line");
+        assert_eq!(divider.chars().count(), header.chars().count());
+        assert!(divider.chars().all(|ch| ch == '-'));
     }
 }

@@ -32,14 +32,27 @@ impl Rng {
         z ^ (z >> 31)
     }
 
-    /// Uniform value in `[0, n)`.
+    /// Uniform value in `[0, n)`, via Lemire's widening-multiply method
+    /// with rejection: unbiased for every `n`, unlike the naive
+    /// `next_u64() % n` fold, whose bias grows with `n` and skews
+    /// sampling over large private regions. Still fully deterministic:
+    /// the same seed consumes the same raw sequence.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.next_u64() % n
+        let mut m = self.next_u64() as u128 * n as u128;
+        if (m as u64) < n {
+            // 2^64 mod n: raw values whose low product half falls below
+            // this threshold land in the over-represented remainder zone.
+            let threshold = n.wrapping_neg() % n;
+            while (m as u64) < threshold {
+                m = self.next_u64() as u128 * n as u128;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
@@ -183,6 +196,44 @@ impl WorkloadSpec {
         }
     }
 
+    /// Write-heavy partition exchange through the shared region: the
+    /// producer/consumer pipeline profile where cores hand buffers to
+    /// each other, stressing invalidations and dirty forwarding.
+    pub fn producer_consumer() -> Self {
+        WorkloadSpec {
+            name: "producer-consumer",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB16,
+            shared_lines: ByteLines::MIB8,
+            code_lines: 384,
+            shared_fraction: 0.40,
+            ifetch_fraction: 0.20,
+            write_fraction: 0.45,
+            dependent_fraction: 0.20,
+            mean_gap: 5,
+            zipf_theta: 0.4,
+        }
+    }
+
+    /// Instruction-footprint stress: the multi-megabyte code working set
+    /// of scale-out services (Sec. II-B) that thrashes the L1-I and
+    /// leans on the vault's instruction capture.
+    pub fn code_heavy() -> Self {
+        WorkloadSpec {
+            name: "code-heavy",
+            refs_per_core: 20_000,
+            private_lines: ByteLines::MIB16,
+            shared_lines: ByteLines::MIB4,
+            code_lines: 16 * 1024, // 1 MiB of code
+            shared_fraction: 0.10,
+            ifetch_fraction: 0.55,
+            write_fraction: 0.10,
+            dependent_fraction: 0.15,
+            mean_gap: 4,
+            zipf_theta: 0.0,
+        }
+    }
+
     /// All built-in workloads, in report order.
     pub fn all() -> Vec<WorkloadSpec> {
         vec![
@@ -190,6 +241,8 @@ impl WorkloadSpec {
             Self::zipf_shared(),
             Self::shared_mix(),
             Self::pointer_chase(),
+            Self::producer_consumer(),
+            Self::code_heavy(),
         ]
     }
 
@@ -287,6 +340,40 @@ mod tests {
     }
 
     #[test]
+    fn rng_below_is_in_range_and_deterministic() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        for n in [1, 2, 3, 7, 1 << 20, u64::MAX - 1] {
+            for _ in 0..200 {
+                let v = a.below(n);
+                assert!(v < n, "below({n}) returned {v}");
+                assert_eq!(v, b.below(n), "same seed must give the same draws");
+            }
+        }
+    }
+
+    #[test]
+    fn rng_below_is_roughly_uniform() {
+        // A bucket count that is NOT a power of two, where the old
+        // modulo fold would be detectably biased for adversarial n.
+        let mut rng = Rng::new(17);
+        const N: u64 = 12;
+        const DRAWS: usize = 60_000;
+        let mut counts = [0u32; N as usize];
+        for _ in 0..DRAWS {
+            counts[rng.below(N) as usize] += 1;
+        }
+        let expect = DRAWS as f64 / N as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(
+                dev < 0.10,
+                "bucket {i}: {c} deviates {dev:.3} from {expect}"
+            );
+        }
+    }
+
+    #[test]
     fn rng_f64_in_unit_interval() {
         let mut r = Rng::new(3);
         for _ in 0..1000 {
@@ -361,7 +448,19 @@ mod tests {
     #[test]
     fn presets_resolve_by_name() {
         assert!(WorkloadSpec::by_name("zipf-shared").is_some());
+        assert!(WorkloadSpec::by_name("producer-consumer").is_some());
+        assert!(WorkloadSpec::by_name("code-heavy").is_some());
         assert!(WorkloadSpec::by_name("nope").is_none());
-        assert!(WorkloadSpec::all().len() >= 3);
+        assert!(WorkloadSpec::all().len() >= 6);
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let all = WorkloadSpec::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate preset name");
+            }
+        }
     }
 }
