@@ -33,6 +33,12 @@ pub struct PrivateMoesiConfig {
     /// Model the ideal vault miss predictor of Sec. V-C: a known local
     /// miss skips the local TAD probe entirely.
     pub ideal_miss_predict: bool,
+    /// Keep the O state: a dirty owner supplies readers core-to-core
+    /// without a main-memory writeback (the paper's protocol). When
+    /// disabled, a dirty owner forwarding to a reader writes the line
+    /// back to memory and degrades to S — MESI-over-vaults, the
+    /// `silo-no-forward` sensitivity variant.
+    pub o_state_forwarding: bool,
 }
 
 impl Default for PrivateMoesiConfig {
@@ -42,6 +48,7 @@ impl Default for PrivateMoesiConfig {
             vault_capacity: ByteSize::from_mib(256),
             scale: 64,
             ideal_miss_predict: true,
+            o_state_forwarding: true,
         }
     }
 }
@@ -55,6 +62,7 @@ pub struct PrivateMoesi {
     vaults: Vec<SetAssocCache<State>>,
     dir: DuplicateTagDirectory,
     ideal_miss_predict: bool,
+    o_state_forwarding: bool,
 }
 
 impl PrivateMoesi {
@@ -74,6 +82,7 @@ impl PrivateMoesi {
                 .collect(),
             dir: DuplicateTagDirectory::new(n_cores),
             ideal_miss_predict: cfg.ideal_miss_predict,
+            o_state_forwarding: cfg.o_state_forwarding,
         }
     }
 
@@ -233,9 +242,15 @@ impl PrivateMoesi {
                 State::M
             } else {
                 // MOESI read: dirty owners keep supplying without a
-                // writeback (M->O); clean exclusives degrade to S.
+                // writeback (M->O); clean exclusives degrade to S. With
+                // O-state forwarding disabled the dirty owner instead
+                // writes back to memory and degrades to S.
                 let downgraded = match ostate {
-                    State::M | State::O => State::O,
+                    State::M | State::O if self.o_state_forwarding => State::O,
+                    State::M | State::O => {
+                        r.background.push(Background::MemoryWrite);
+                        State::S
+                    }
                     State::E => State::S,
                     _ => unreachable!("owner must be ownerlike"),
                 };
@@ -513,6 +528,30 @@ mod tests {
         let r = p.access(0, MemRef::read(l));
         assert_eq!(r.served_by(), ServedBy::LocalVault);
         assert_eq!(r.steps, vec![Step::VaultAccess { node: 0 }]);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn disabled_o_forwarding_writes_back_and_degrades_to_s() {
+        let mut p = PrivateMoesi::new(
+            4,
+            &PrivateMoesiConfig {
+                vault_capacity: ByteSize::from_kib(64),
+                scale: 1,
+                o_state_forwarding: false,
+                ..PrivateMoesiConfig::default()
+            },
+        );
+        let l = LineAddr::new(42);
+        p.access(0, MemRef::write(l));
+        assert_eq!(p.directory().state_of(l, 0), State::M);
+        let r = p.access(1, MemRef::read(l));
+        // Data still forwards from the owner's vault, but the dirty line
+        // goes back to memory and the owner degrades to S, never O.
+        assert_eq!(r.served_by(), ServedBy::RemoteVault);
+        assert!(r.background.contains(&Background::MemoryWrite));
+        assert_eq!(p.directory().state_of(l, 0), State::S);
+        assert_eq!(p.directory().state_of(l, 1), State::S);
         p.check().unwrap();
     }
 

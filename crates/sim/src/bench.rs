@@ -1,22 +1,26 @@
 //! Parallel sweep/bench harness.
 //!
 //! A [`SweepSpec`] spans the cartesian product of (workload × cores ×
-//! scale × mlp × vault design); every point runs both systems and yields
-//! a [`BenchRecord`]. Runs are deterministic and fully independent (each
-//! builds its own engines, timing model, and traces — see
-//! `silo_types::stats`), so [`run_sweep`] fans them out across OS
-//! threads with `std::thread::scope` and still returns results in point
-//! order, bit-identical to [`run_sweep_sequential`].
+//! scale × mlp × vault design); every point runs each selected system
+//! (from the [`crate::registry`]) and yields a [`BenchRecord`]. Runs are
+//! deterministic and fully independent (each builds its own engines,
+//! timing model, and traces — see `silo_types::stats`), so [`run_sweep`]
+//! fans them out across OS threads with `std::thread::scope` and still
+//! returns results in point order, bit-identical to
+//! [`run_sweep_sequential`].
 //!
 //! [`sweep_json`] renders the records into the machine-readable
 //! `silo-bench/v1` schema via the dependency-free [`crate::json`]
 //! writer, capturing IPC, speedup, served-level fractions, LLC latency
-//! percentiles, and per-run wall-clock.
+//! percentiles, and per-run wall-clock. When the classic SILO/baseline
+//! pair is among the selected systems, the legacy `silo`/`baseline`
+//! point fields are emitted unchanged alongside the N-way `systems`
+//! array.
 
 use crate::config::{SystemConfig, VaultDesign};
 use crate::json::Json;
-use crate::report::Comparison;
-use crate::run::{run_baseline, run_silo, RunStats};
+use crate::registry::{run_system_on_traces, SystemSpec};
+use crate::run::RunStats;
 use crate::workload::WorkloadSpec;
 use silo_coherence::ServedBy;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +36,8 @@ pub const SCHEMA: &str = "silo-bench/v1";
 pub struct SweepSpec {
     /// Template config; per-point dimensions override it.
     pub base: SystemConfig,
+    /// Systems to run at every point, in report order.
+    pub systems: Vec<SystemSpec>,
     /// Core counts to sweep.
     pub cores: Vec<usize>,
     /// Capacity-scaling factors to sweep.
@@ -97,43 +103,86 @@ impl SweepPoint {
     }
 }
 
-/// The outcome of one sweep point: both systems' stats plus wall-clock.
+/// One system's result at one sweep point.
+#[derive(Clone, Debug)]
+pub struct SystemRun {
+    /// The simulated statistics.
+    pub stats: RunStats,
+    /// Host wall-clock of the run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The outcome of one sweep point: every selected system's stats plus
+/// per-run wall-clock, in system order.
 #[derive(Clone, Debug)]
 pub struct BenchRecord {
     /// The point that produced this record.
     pub point: SweepPoint,
-    /// The (SILO, baseline) run pair.
-    pub cmp: Comparison,
-    /// Host wall-clock of the SILO run, in milliseconds.
-    pub silo_wall_ms: f64,
-    /// Host wall-clock of the baseline run, in milliseconds.
-    pub baseline_wall_ms: f64,
+    /// One entry per system, in [`SweepSpec::systems`] order.
+    pub runs: Vec<SystemRun>,
 }
 
-/// Runs one sweep point (both systems) and times it.
-pub fn run_point(base: &SystemConfig, point: &SweepPoint, seed: u64) -> BenchRecord {
-    let cfg = point.config(base);
-    cfg.validate();
-    let t = Instant::now();
-    let silo = run_silo(&cfg, &point.workload, seed);
-    let silo_wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    let t = Instant::now();
-    let baseline = run_baseline(&cfg, &point.workload, seed);
-    let baseline_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+impl BenchRecord {
+    /// The run of the system named `name` (case-insensitive), if it was
+    /// part of the comparison.
+    pub fn run(&self, name: &str) -> Option<&SystemRun> {
+        self.runs
+            .iter()
+            .find(|r| r.stats.system.eq_ignore_ascii_case(name))
+    }
+
+    /// IPC ratio of `system` over `reference`, when both ran.
+    pub fn speedup_of(&self, system: &str, reference: &str) -> Option<f64> {
+        let s = self.run(system)?;
+        let r = self.run(reference)?;
+        Some(s.stats.ipc() / r.stats.ipc())
+    }
+
+    /// The paper's headline ratio: SILO IPC over baseline IPC, when both
+    /// systems were part of the comparison.
+    pub fn speedup(&self) -> Option<f64> {
+        self.speedup_of("SILO", "baseline")
+    }
+
+    /// Total host wall-clock across all systems, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_ms).sum()
+    }
+}
+
+/// Runs one sweep point (every selected system) and times each run.
+///
+/// # Panics
+///
+/// Panics if the point resolves to an invalid config; the builder API
+/// validates the axes up front.
+pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
+    let cfg = point.config(&spec.base);
+    cfg.validate().expect("sweep axes validated at build time");
+    // Traces depend only on (workload, cores, scale, seed): generate once
+    // and share them across every system at this point.
+    let traces = point.workload.generate(cfg.cores, cfg.scale, spec.seed);
+    let runs = spec
+        .systems
+        .iter()
+        .map(|sys| {
+            let t = Instant::now();
+            let stats = run_system_on_traces(sys, &cfg, &point.workload.name, &traces);
+            SystemRun {
+                stats,
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect();
     BenchRecord {
         point: point.clone(),
-        cmp: Comparison { silo, baseline },
-        silo_wall_ms,
-        baseline_wall_ms,
+        runs,
     }
 }
 
 /// Runs every point on the calling thread, in point order.
 pub fn run_sweep_sequential(spec: &SweepSpec) -> Vec<BenchRecord> {
-    spec.points()
-        .iter()
-        .map(|p| run_point(&spec.base, p, spec.seed))
-        .collect()
+    spec.points().iter().map(|p| run_point(spec, p)).collect()
 }
 
 /// Fans the points out across up to `threads` OS threads (work-stealing
@@ -157,7 +206,7 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<BenchRecord> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(i) else { break };
-                let record = run_point(&spec.base, point, spec.seed);
+                let record = run_point(spec, point);
                 *slots[i].lock().expect("result slot poisoned") = Some(record);
             });
         }
@@ -195,9 +244,10 @@ fn latency_json(s: &RunStats) -> Json {
     ])
 }
 
-fn system_json(s: &RunStats, wall_ms: f64) -> Json {
+fn system_json(run: &SystemRun) -> Json {
+    let s = &run.stats;
     Json::Obj(vec![
-        ("system".into(), Json::Str(s.system.into())),
+        ("system".into(), Json::Str(s.system.clone())),
         ("ipc".into(), Json::Num(s.ipc())),
         ("instructions".into(), Json::Int(s.instructions as i128)),
         ("cycles".into(), Json::Int(s.cycles.as_u64() as i128)),
@@ -205,14 +255,17 @@ fn system_json(s: &RunStats, wall_ms: f64) -> Json {
         ("mesh_messages".into(), Json::Int(s.mesh_messages as i128)),
         ("served".into(), served_json(s)),
         ("llc_latency".into(), latency_json(s)),
-        ("wall_ms".into(), Json::Num(wall_ms)),
+        ("wall_ms".into(), Json::Num(run.wall_ms)),
     ])
 }
 
-/// Renders one record as a JSON point object.
+/// Renders one record as a JSON point object. The legacy `silo` /
+/// `baseline` fields appear whenever those systems ran (bit-identical to
+/// the pairwise-era schema); the `systems` array always lists every
+/// system's row.
 pub fn record_json(r: &BenchRecord) -> Json {
-    Json::Obj(vec![
-        ("workload".into(), Json::Str(r.point.workload.name.into())),
+    let mut fields = vec![
+        ("workload".into(), Json::Str(r.point.workload.name.clone())),
         ("cores".into(), Json::Int(r.point.cores as i128)),
         ("scale".into(), Json::Int(r.point.scale as i128)),
         ("mlp".into(), Json::Int(r.point.mlp as i128)),
@@ -220,25 +273,43 @@ pub fn record_json(r: &BenchRecord) -> Json {
             "vault_design".into(),
             Json::Str(r.point.vault.name().into()),
         ),
-        ("speedup".into(), Json::Num(r.cmp.speedup())),
-        ("silo".into(), system_json(&r.cmp.silo, r.silo_wall_ms)),
-        (
-            "baseline".into(),
-            system_json(&r.cmp.baseline, r.baseline_wall_ms),
-        ),
-    ])
+        ("speedup".into(), r.speedup().map_or(Json::Null, Json::Num)),
+    ];
+    if let Some(run) = r.run("SILO") {
+        fields.push(("silo".into(), system_json(run)));
+    }
+    if let Some(run) = r.run("baseline") {
+        fields.push(("baseline".into(), system_json(run)));
+    }
+    fields.push((
+        "systems".into(),
+        Json::Arr(r.runs.iter().map(system_json).collect()),
+    ));
+    Json::Obj(fields)
 }
 
 /// Renders a full sweep into the `silo-bench/v1` document.
 pub fn sweep_json(records: &[BenchRecord], seed: u64) -> Json {
-    let speedups: Vec<f64> = records.iter().map(|r| r.cmp.speedup()).collect();
+    let speedups: Vec<f64> = records.iter().filter_map(BenchRecord::speedup).collect();
+    let geomean = if speedups.is_empty() {
+        Json::Null
+    } else {
+        Json::Num(silo_types::geomean(&speedups))
+    };
+    let system_names: Vec<Json> = records
+        .first()
+        .map(|r| {
+            r.runs
+                .iter()
+                .map(|run| Json::Str(run.stats.system.clone()))
+                .collect()
+        })
+        .unwrap_or_default();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("seed".into(), Json::Int(seed as i128)),
-        (
-            "geomean_speedup".into(),
-            Json::Num(silo_types::geomean(&speedups)),
-        ),
+        ("systems".into(), Json::Arr(system_names)),
+        ("geomean_speedup".into(), geomean),
         (
             "points".into(),
             Json::Arr(records.iter().map(record_json).collect()),
@@ -262,10 +333,12 @@ pub fn write_json_file(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::SystemRegistry;
 
     fn tiny_spec() -> SweepSpec {
         SweepSpec {
             base: SystemConfig::paper_16core(),
+            systems: SystemRegistry::builtin().classic_pair(),
             cores: vec![2],
             scales: vec![64, 128],
             mlps: vec![4],
@@ -299,20 +372,43 @@ mod tests {
         assert_eq!(cfg.cores, 2);
         assert_eq!(cfg.scale, 128);
         assert_eq!(cfg.mlp, 4);
-        cfg.validate();
+        cfg.validate().expect("point config is valid");
     }
 
     #[test]
-    fn sweep_records_carry_both_systems() {
+    fn sweep_records_carry_every_system() {
         let spec = tiny_spec();
         let records = run_sweep_sequential(&spec);
         assert_eq!(records.len(), 2);
         for r in &records {
-            assert_eq!(r.cmp.silo.system, "SILO");
-            assert_eq!(r.cmp.baseline.system, "baseline");
-            assert!(r.cmp.silo.instructions > 0);
-            assert!(r.silo_wall_ms >= 0.0 && r.baseline_wall_ms >= 0.0);
+            assert_eq!(r.runs.len(), 2);
+            assert_eq!(r.runs[0].stats.system, "SILO");
+            assert_eq!(r.runs[1].stats.system, "baseline");
+            assert!(r.run("silo").is_some(), "lookup is case-insensitive");
+            assert!(r.runs[0].stats.instructions > 0);
+            assert!(r.speedup().expect("both systems present") > 0.0);
+            assert!(r.wall_ms() >= 0.0);
         }
+    }
+
+    #[test]
+    fn three_way_records_have_null_free_speedups_only_for_the_pair() {
+        let mut spec = tiny_spec();
+        spec.scales = vec![64];
+        let reg = SystemRegistry::builtin();
+        spec.systems = vec![
+            reg.get("baseline").expect("builtin").clone(),
+            reg.get("baseline-2x").expect("builtin").clone(),
+        ];
+        let records = run_sweep_sequential(&spec);
+        assert_eq!(records[0].runs.len(), 2);
+        assert!(records[0].speedup().is_none(), "no SILO in this selection");
+        assert!(records[0]
+            .speedup_of("baseline-2x", "baseline")
+            .expect("pairing present")
+            .is_finite());
+        let doc = sweep_json(&records, spec.seed);
+        assert_eq!(doc.get("geomean_speedup"), Some(&Json::Null));
     }
 
     #[test]
@@ -322,6 +418,8 @@ mod tests {
         let doc = sweep_json(&records, spec.seed);
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(doc.get("seed").and_then(Json::as_i64), Some(5));
+        let systems = doc.get("systems").and_then(Json::as_arr).expect("systems");
+        assert_eq!(systems.len(), 2);
         let points = doc.get("points").and_then(Json::as_arr).expect("points");
         assert_eq!(points.len(), records.len());
         let ipc = points[0]
@@ -329,6 +427,11 @@ mod tests {
             .and_then(|s| s.get("ipc"))
             .and_then(Json::as_f64)
             .expect("ipc");
-        assert!((ipc - records[0].cmp.silo.ipc()).abs() < 1e-12);
+        assert!((ipc - records[0].runs[0].stats.ipc()).abs() < 1e-12);
+        let listed = points[0]
+            .get("systems")
+            .and_then(Json::as_arr)
+            .expect("per-point systems array");
+        assert_eq!(listed.len(), 2);
     }
 }

@@ -1,0 +1,550 @@
+//! The builder-pattern library entry point.
+//!
+//! [`Simulation::builder`] composes a [`SystemConfig`], system
+//! selections from the [`SystemRegistry`], workload specs (presets or
+//! custom parameterizations), and sweep axes into a validated
+//! [`Simulation`]. All validation happens in
+//! [`SimulationBuilder::build`], which returns typed [`ConfigError`]s
+//! instead of panicking, so `silo-sim` is usable as a library; the CLI
+//! is a thin shim over this module.
+
+use crate::bench::{self, BenchRecord, SweepSpec};
+use crate::config::{SystemConfig, VaultDesign};
+use crate::error::ConfigError;
+use crate::registry::{SystemRegistry, SystemSpec};
+use crate::scenario::Scenario;
+use crate::workload::WorkloadSpec;
+
+/// A fully validated, runnable comparison: N systems × workloads ×
+/// sweep axes. Construct through [`Simulation::builder`].
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    spec: SweepSpec,
+    threads: Option<usize>,
+}
+
+impl Simulation {
+    /// Starts a builder with the paper's defaults: the 16-core Table II
+    /// config, the SILO/baseline pair, and all workload presets.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// The validated sweep specification.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Worker threads the run will use: the explicit setting, else the
+    /// host's available parallelism (minimum 4). Results never depend on
+    /// this — parallel sweeps are bit-identical to sequential ones.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4)
+        })
+    }
+
+    /// Runs every sweep point over every system, fanning out across
+    /// [`Simulation::threads`] workers; records come back in point
+    /// order.
+    pub fn run(&self) -> Vec<BenchRecord> {
+        bench::run_sweep(&self.spec, self.threads())
+    }
+
+    /// Runs everything on the calling thread (bit-identical to
+    /// [`Simulation::run`]).
+    pub fn run_sequential(&self) -> Vec<BenchRecord> {
+        bench::run_sweep_sequential(&self.spec)
+    }
+}
+
+/// Composable configuration for a [`Simulation`]; every setter is
+/// chainable and nothing is validated until [`SimulationBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder {
+    config: SystemConfig,
+    registry: SystemRegistry,
+    systems: Option<Vec<String>>,
+    workloads: Option<Vec<String>>,
+    workload_specs: Vec<WorkloadSpec>,
+    cores: Option<Vec<usize>>,
+    scales: Option<Vec<u64>>,
+    mlps: Option<Vec<usize>>,
+    vaults: Option<Vec<String>>,
+    seed: u64,
+    refs: Option<usize>,
+    threads: Option<usize>,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            config: SystemConfig::paper_16core(),
+            registry: SystemRegistry::builtin(),
+            systems: None,
+            workloads: None,
+            workload_specs: Vec::new(),
+            cores: None,
+            scales: None,
+            mlps: None,
+            vaults: None,
+            seed: 42,
+            refs: None,
+            threads: None,
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Sets the template [`SystemConfig`] (per-point axes override it).
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the system registry.
+    pub fn registry(mut self, registry: SystemRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers (or replaces) a custom system in this builder's
+    /// registry; select it by name with [`SimulationBuilder::systems`].
+    pub fn register_system(mut self, spec: SystemSpec) -> Self {
+        self.registry.register(spec);
+        self
+    }
+
+    /// Selects the systems to compare, by registry name, in report
+    /// order. Defaults to the SILO/baseline pair.
+    pub fn systems<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.systems = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Selects the workloads by spec string: preset names or custom
+    /// parameterizations (see [`WorkloadSpec::parse`]). Defaults to all
+    /// presets.
+    pub fn workloads<I, S>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = Some(specs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends one fully built workload spec (for programmatic
+    /// workloads that the string grammar cannot express).
+    pub fn workload_spec(mut self, spec: WorkloadSpec) -> Self {
+        self.workload_specs.push(spec);
+        self
+    }
+
+    /// Sets the core-count axis (a single value for a flat run).
+    pub fn cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores = Some(cores.into_iter().collect());
+        self
+    }
+
+    /// Sets the capacity-scale axis.
+    pub fn scales(mut self, scales: impl IntoIterator<Item = u64>) -> Self {
+        self.scales = Some(scales.into_iter().collect());
+        self
+    }
+
+    /// Sets the MSHR-count axis.
+    pub fn mlps(mut self, mlps: impl IntoIterator<Item = usize>) -> Self {
+        self.mlps = Some(mlps.into_iter().collect());
+        self
+    }
+
+    /// Sets the vault-design axis by name (`table2`, `latency`,
+    /// `capacity`).
+    pub fn vault_designs<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.vaults = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the workload RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default per-core reference count: it replaces the
+    /// preset counts of name-selected workloads, but an explicit
+    /// `refs=` parameter in a custom spec wins, and specs added with
+    /// [`SimulationBuilder::workload_spec`] keep their own count.
+    pub fn refs_per_core(mut self, refs: usize) -> Self {
+        self.refs = Some(refs);
+        self
+    }
+
+    /// Sets the worker-thread count (default: host parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Merges a parsed [`Scenario`] into the builder: every field the
+    /// scenario sets replaces the builder's current value, so apply the
+    /// scenario first and explicit overrides after.
+    pub fn scenario(mut self, s: &Scenario) -> Self {
+        if let Some(v) = &s.systems {
+            self.systems = Some(v.clone());
+        }
+        if let Some(v) = &s.workloads {
+            self.workloads = Some(v.clone());
+        }
+        if let Some(v) = &s.cores {
+            self.cores = Some(v.clone());
+        }
+        if let Some(v) = &s.scales {
+            self.scales = Some(v.clone());
+        }
+        if let Some(v) = &s.mlps {
+            self.mlps = Some(v.clone());
+        }
+        if let Some(v) = &s.vaults {
+            self.vaults = Some(v.clone());
+        }
+        if let Some(v) = s.seed {
+            self.seed = v;
+        }
+        if let Some(v) = s.refs {
+            self.refs = Some(v);
+        }
+        if let Some(v) = s.threads {
+            self.threads = Some(v);
+        }
+        self
+    }
+
+    /// Validates everything and produces a runnable [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for unknown system / workload / vault
+    /// names, duplicate selections, out-of-range axis values, empty
+    /// selections, or an inconsistent base config.
+    pub fn build(self) -> Result<Simulation, ConfigError> {
+        let systems = self.resolve_systems()?;
+        let workloads = self.resolve_workloads()?;
+        let cores = self.validated_axis(
+            self.cores.clone(),
+            self.config.cores,
+            "cores",
+            |&c| (1..=64).contains(&c),
+            "must be in [1, 64] (directory masks are u64)",
+        )?;
+        let scales = self.validated_axis(
+            self.scales.clone(),
+            self.config.scale,
+            "scale",
+            |&s| s >= 1,
+            "must be at least 1",
+        )?;
+        let mlps = self.validated_axis(
+            self.mlps.clone(),
+            self.config.mlp,
+            "mlp",
+            |&m| m >= 1,
+            "must be at least 1",
+        )?;
+        let vaults = self.resolve_vaults()?;
+        if let Some(refs) = self.refs {
+            if refs == 0 {
+                return Err(ConfigError::BadValue {
+                    what: "refs".into(),
+                    value: "0".into(),
+                    reason: "must be at least 1".into(),
+                });
+            }
+        }
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(ConfigError::BadValue {
+                    what: "threads".into(),
+                    value: "0".into(),
+                    reason: "must be at least 1".into(),
+                });
+            }
+        }
+        self.config.validate()?;
+        Ok(Simulation {
+            spec: SweepSpec {
+                base: self.config,
+                systems,
+                cores,
+                scales,
+                mlps,
+                vaults,
+                workloads,
+                seed: self.seed,
+            },
+            threads: self.threads,
+        })
+    }
+
+    fn resolve_systems(&self) -> Result<Vec<SystemSpec>, ConfigError> {
+        let Some(names) = &self.systems else {
+            return Ok(self.registry.classic_pair());
+        };
+        if names.is_empty() {
+            return Err(ConfigError::Empty("systems"));
+        }
+        let mut out: Vec<SystemSpec> = Vec::with_capacity(names.len());
+        for name in names {
+            let spec = self
+                .registry
+                .get(name)
+                .ok_or_else(|| ConfigError::UnknownSystem(name.clone()))?;
+            if out.iter().any(|s| s.name().eq_ignore_ascii_case(name)) {
+                return Err(ConfigError::Duplicate {
+                    what: "system",
+                    name: name.clone(),
+                });
+            }
+            out.push(spec.clone());
+        }
+        Ok(out)
+    }
+
+    fn resolve_workloads(&self) -> Result<Vec<WorkloadSpec>, ConfigError> {
+        // The global refs setting is a *default*: it replaces the preset
+        // reference counts but yields to an explicit `refs=` parameter
+        // in a custom spec, and never touches specs added directly with
+        // `workload_spec` (their struct already states a count).
+        let mut out: Vec<WorkloadSpec> = match &self.workloads {
+            Some(raw) => {
+                let mut parsed = Vec::with_capacity(raw.len());
+                for spec in raw {
+                    parsed.push(WorkloadSpec::parse_with_default_refs(spec, self.refs)?);
+                }
+                parsed
+            }
+            None if self.workload_specs.is_empty() => {
+                let mut all = WorkloadSpec::all();
+                if let Some(refs) = self.refs {
+                    for w in &mut all {
+                        w.refs_per_core = refs;
+                    }
+                }
+                all
+            }
+            None => Vec::new(),
+        };
+        out.extend(self.workload_specs.iter().cloned());
+        for (i, w) in out.iter().enumerate() {
+            if out[..i].iter().any(|o| o.name == w.name) {
+                return Err(ConfigError::Duplicate {
+                    what: "workload",
+                    name: w.name.clone(),
+                });
+            }
+        }
+        if out.is_empty() {
+            return Err(ConfigError::Empty("workloads"));
+        }
+        Ok(out)
+    }
+
+    fn validated_axis<T: Copy + PartialEq + std::fmt::Display>(
+        &self,
+        values: Option<Vec<T>>,
+        default: T,
+        what: &str,
+        ok: impl Fn(&T) -> bool,
+        reason: &str,
+    ) -> Result<Vec<T>, ConfigError> {
+        let values = values.unwrap_or_else(|| vec![default]);
+        if values.is_empty() {
+            return Err(ConfigError::Empty("sweep axis"));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if !ok(v) {
+                return Err(ConfigError::BadValue {
+                    what: what.into(),
+                    value: v.to_string(),
+                    reason: reason.into(),
+                });
+            }
+            if values[..i].contains(v) {
+                return Err(ConfigError::Duplicate {
+                    what: "axis value",
+                    name: format!("{what} {v}"),
+                });
+            }
+        }
+        Ok(values)
+    }
+
+    fn resolve_vaults(&self) -> Result<Vec<VaultDesign>, ConfigError> {
+        let Some(names) = &self.vaults else {
+            return Ok(vec![VaultDesign::Table2]);
+        };
+        if names.is_empty() {
+            return Err(ConfigError::Empty("vault designs"));
+        }
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let v = VaultDesign::parse(name)
+                .ok_or_else(|| ConfigError::UnknownVaultDesign(name.clone()))?;
+            if v != VaultDesign::Table2 && v.design_point().is_none() {
+                return Err(ConfigError::InfeasibleVaultDesign(name.clone()));
+            }
+            if out.contains(&v) {
+                return Err(ConfigError::Duplicate {
+                    what: "vault design",
+                    name: name.clone(),
+                });
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_the_classic_comparison() {
+        let sim = Simulation::builder().build().expect("defaults are valid");
+        let spec = sim.spec();
+        let names: Vec<&str> = spec.systems.iter().map(SystemSpec::name).collect();
+        assert_eq!(names, ["SILO", "baseline"]);
+        assert_eq!(spec.workloads.len(), WorkloadSpec::all().len());
+        assert_eq!(spec.cores, vec![16]);
+        assert_eq!(spec.seed, 42);
+    }
+
+    #[test]
+    fn build_resolves_custom_selections() {
+        let sim = Simulation::builder()
+            .systems(["silo", "baseline-2x"])
+            .workloads(["zipf:theta=0.3", "code-heavy"])
+            .cores([2, 4])
+            .mlps([4])
+            .refs_per_core(100)
+            .seed(7)
+            .threads(2)
+            .build()
+            .expect("valid");
+        let spec = sim.spec();
+        assert_eq!(spec.systems[0].name(), "SILO");
+        assert_eq!(spec.systems[1].name(), "baseline-2x");
+        assert_eq!(spec.workloads[0].name, "zipf:theta=0.3");
+        assert!(spec.workloads.iter().all(|w| w.refs_per_core == 100));
+        assert_eq!(spec.points().len(), 2 * 2);
+        assert_eq!(sim.threads(), 2);
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs_with_typed_errors() {
+        let unknown = Simulation::builder().systems(["ghost"]).build();
+        assert_eq!(
+            unknown.err(),
+            Some(ConfigError::UnknownSystem("ghost".into()))
+        );
+
+        let dup = Simulation::builder().systems(["SILO", "silo"]).build();
+        assert!(matches!(dup, Err(ConfigError::Duplicate { .. })));
+
+        let empty = Simulation::builder().systems(Vec::<String>::new()).build();
+        assert_eq!(empty.err(), Some(ConfigError::Empty("systems")));
+
+        let cores = Simulation::builder().cores([0]).build();
+        assert!(matches!(cores, Err(ConfigError::BadValue { .. })));
+
+        let cores = Simulation::builder().cores([4, 4]).build();
+        assert!(matches!(cores, Err(ConfigError::Duplicate { .. })));
+
+        let wl = Simulation::builder()
+            .workloads(["zipf:theta=bogus"])
+            .build();
+        assert!(matches!(wl, Err(ConfigError::BadWorkloadSpec { .. })));
+
+        let vault = Simulation::builder().vault_designs(["warp"]).build();
+        assert_eq!(
+            vault.err(),
+            Some(ConfigError::UnknownVaultDesign("warp".into()))
+        );
+
+        let refs = Simulation::builder().refs_per_core(0).build();
+        assert!(matches!(refs, Err(ConfigError::BadValue { .. })));
+    }
+
+    #[test]
+    fn global_refs_default_yields_to_explicit_refs_params() {
+        let sim = Simulation::builder()
+            .workloads(["zipf-shared", "pointer-chase:refs=100"])
+            .workload_spec(WorkloadSpec {
+                name: "hand-built".into(),
+                refs_per_core: 77,
+                ..WorkloadSpec::uniform_private()
+            })
+            .refs_per_core(4_000)
+            .cores([2])
+            .build()
+            .expect("valid");
+        let w = &sim.spec().workloads;
+        assert_eq!(w[0].refs_per_core, 4_000, "preset takes the default");
+        assert_eq!(w[1].refs_per_core, 100, "explicit refs= wins");
+        assert_eq!(w[2].refs_per_core, 77, "direct specs keep their count");
+    }
+
+    #[test]
+    fn scenario_merges_under_explicit_settings() {
+        let scenario =
+            Scenario::parse("systems = SILO, baseline, baseline-2x\nseed = 9\ncores = 8\n")
+                .expect("valid scenario");
+        let sim = Simulation::builder()
+            .scenario(&scenario)
+            .seed(11) // explicit override applied after the scenario wins
+            .build()
+            .expect("valid");
+        assert_eq!(sim.spec().systems.len(), 3);
+        assert_eq!(sim.spec().cores, vec![8]);
+        assert_eq!(sim.spec().seed, 11);
+    }
+
+    #[test]
+    fn registered_custom_systems_resolve() {
+        use crate::registry::SystemInstance;
+        use crate::timing::TimingModel;
+        let spec = SystemSpec::new("mini-llc", "baseline with a quarter LLC", |cfg| {
+            let mut small = *cfg;
+            small.llc_capacity = silo_types::ByteSize::from_bytes(cfg.llc_capacity.as_bytes() / 4);
+            SystemInstance {
+                engine: Box::new(crate::run::baseline_engine(&small)),
+                timing: TimingModel::baseline(&small),
+            }
+        });
+        let sim = Simulation::builder()
+            .register_system(spec)
+            .systems(["baseline", "mini-llc"])
+            .workloads(["uniform-private"])
+            .cores([2])
+            .refs_per_core(300)
+            .build()
+            .expect("valid");
+        let records = sim.run_sequential();
+        assert_eq!(records[0].runs.len(), 2);
+        assert_eq!(records[0].runs[1].stats.system, "mini-llc");
+        assert!(records[0].runs[1].stats.instructions > 0);
+    }
+}

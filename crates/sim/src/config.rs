@@ -1,6 +1,7 @@
 //! System configuration: core count, mesh geometry, and the latency /
 //! capacity parameters of every simulated structure (Table II).
 
+use crate::error::ConfigError;
 use silo_coherence::NodeSpec;
 use silo_dram::DesignPoint;
 use silo_types::{ByteSize, Cycles};
@@ -181,19 +182,26 @@ impl SystemConfig {
 
     /// Checks internal consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the mesh does not cover exactly `cores` nodes.
-    pub fn validate(&self) {
-        assert_eq!(
-            self.cores,
-            self.mesh_width * self.mesh_height,
-            "mesh {}x{} does not cover {} cores",
-            self.mesh_width,
-            self.mesh_height,
-            self.cores
-        );
-        assert!(self.mlp > 0, "need at least one MSHR");
+    /// Returns a [`ConfigError`] if the mesh does not cover exactly
+    /// `cores` nodes or the MSHR count is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores != self.mesh_width * self.mesh_height {
+            return Err(ConfigError::MeshMismatch {
+                cores: self.cores,
+                width: self.mesh_width,
+                height: self.mesh_height,
+            });
+        }
+        if self.mlp == 0 {
+            return Err(ConfigError::BadValue {
+                what: "mlp".into(),
+                value: "0".into(),
+                reason: "need at least one MSHR".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -204,15 +212,35 @@ mod tests {
     #[test]
     fn paper_config_is_consistent() {
         let c = SystemConfig::paper_16core();
-        c.validate();
+        c.validate().expect("paper config is valid");
         assert_eq!(c.cores, 16);
         assert_eq!(c.mesh_width * c.mesh_height, 16);
     }
 
     #[test]
+    fn validate_returns_typed_errors() {
+        let mut c = SystemConfig::paper_16core();
+        c.mesh_width = 3;
+        assert_eq!(
+            c.validate(),
+            Err(crate::error::ConfigError::MeshMismatch {
+                cores: 16,
+                width: 3,
+                height: 4
+            })
+        );
+        let mut c = SystemConfig::paper_16core();
+        c.mlp = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(crate::error::ConfigError::BadValue { .. })
+        ));
+    }
+
+    #[test]
     fn with_cores_picks_squarest_mesh() {
         let c = SystemConfig::paper_16core().with_cores(8);
-        c.validate();
+        c.validate().expect("reshaped config is valid");
         assert_eq!((c.mesh_width, c.mesh_height), (2, 4));
         let c = SystemConfig::paper_16core().with_cores(9);
         assert_eq!((c.mesh_width, c.mesh_height), (3, 3));

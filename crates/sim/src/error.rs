@@ -1,0 +1,140 @@
+//! Typed configuration errors for the library API.
+//!
+//! Everything that can go wrong while assembling a [`crate::Simulation`]
+//! — unknown registry names, malformed workload specs, bad axis values,
+//! scenario-file syntax errors — surfaces as a [`ConfigError`] instead of
+//! a panic, so embedders can report and recover. The CLI maps any
+//! `ConfigError` to exit code 2 with the `Display` message.
+
+use std::fmt;
+
+/// A configuration problem detected while building a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A system name did not resolve against the registry.
+    UnknownSystem(String),
+    /// A workload name did not match any preset or custom-spec base.
+    UnknownWorkload(String),
+    /// A vault-design name did not parse.
+    UnknownVaultDesign(String),
+    /// A custom workload spec parsed its base but a parameter was bad.
+    BadWorkloadSpec {
+        /// The full spec string as given.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A scalar or axis value was out of range or unparseable.
+    BadValue {
+        /// The field or flag the value was given for.
+        what: String,
+        /// The offending value as given.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The same name was selected twice where duplicates are rejected.
+    Duplicate {
+        /// What kind of selection (system, workload, axis).
+        what: &'static str,
+        /// The duplicated name or value.
+        name: String,
+    },
+    /// A selection or sweep axis ended up empty.
+    Empty(&'static str),
+    /// The mesh dimensions do not cover the core count.
+    MeshMismatch {
+        /// Configured core count.
+        cores: usize,
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+    /// The `silo-dram` design-space sweep has no feasible point for this
+    /// vault design.
+    InfeasibleVaultDesign(String),
+    /// A scenario file line failed to parse.
+    Scenario {
+        /// 1-based line number in the scenario file.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// A scenario file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownSystem(name) => {
+                write!(f, "unknown system '{name}' (try --list-systems)")
+            }
+            ConfigError::UnknownWorkload(name) => {
+                write!(f, "unknown workload '{name}' (try --list-workloads)")
+            }
+            ConfigError::UnknownVaultDesign(name) => {
+                write!(
+                    f,
+                    "unknown vault design '{name}' (expected table2, latency, or capacity)"
+                )
+            }
+            ConfigError::BadWorkloadSpec { spec, reason } => {
+                write!(f, "bad workload spec '{spec}': {reason}")
+            }
+            ConfigError::BadValue {
+                what,
+                value,
+                reason,
+            } => write!(f, "bad value '{value}' for {what}: {reason}"),
+            ConfigError::Duplicate { what, name } => {
+                write!(f, "duplicate {what} '{name}'")
+            }
+            ConfigError::Empty(what) => write!(f, "{what} must not be empty"),
+            ConfigError::MeshMismatch {
+                cores,
+                width,
+                height,
+            } => write!(f, "mesh {width}x{height} does not cover {cores} cores"),
+            ConfigError::InfeasibleVaultDesign(name) => {
+                write!(f, "vault sweep has no feasible '{name}' design")
+            }
+            ConfigError::Scenario { line, message } => {
+                write!(f, "scenario line {line}: {message}")
+            }
+            ConfigError::Io(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        let e = ConfigError::UnknownSystem("ghost".into());
+        assert!(e.to_string().contains("ghost"));
+        let e = ConfigError::BadValue {
+            what: "--cores".into(),
+            value: "0".into(),
+            reason: "must be in [1, 64]".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("--cores") && msg.contains("[1, 64]"));
+        let e = ConfigError::Scenario {
+            line: 7,
+            message: "unknown key 'wat'".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&ConfigError::Empty("systems"));
+    }
+}

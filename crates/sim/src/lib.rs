@@ -1,4 +1,5 @@
-//! `silo-sim`: the timing core of the SILO reproduction.
+//! `silo-sim`: the timing core of the SILO reproduction, usable as a
+//! library or through the `silo-sim` CLI.
 //!
 //! The coherence engines in `silo-coherence` are functional: each access
 //! yields an [`silo_coherence::AccessResult`] listing the critical-path
@@ -8,26 +9,65 @@
 //! overlap from [`silo_types::MemRef`]'s `gap_instructions`/`dependent`
 //! fields, and aggregates `silo_types::stats` into per-workload results.
 //!
-//! The `silo-sim` binary runs SILO ([`silo_coherence::PrivateMoesi`])
-//! against the shared-LLC baseline ([`silo_coherence::SharedMesi`]) over
-//! deterministic synthetic scale-out workloads and prints a Fig. 11-style
-//! normalized-performance table. The [`bench`] module fans sweeps over
-//! (workload × cores × scale × mlp × vault design) out across OS threads
-//! and emits machine-readable `silo-bench/v1` JSON through the
-//! dependency-free [`json`] module.
+//! The public API is scenario-first:
+//!
+//! * [`registry`] — a [`SystemRegistry`] of named [`SystemSpec`]
+//!   factories producing `Box<dyn Protocol>` engines: the paper's
+//!   SILO/baseline pair plus sensitivity variants (`silo-no-forward`,
+//!   `baseline-2x`), extensible at runtime.
+//! * [`builder`] — [`Simulation::builder`] composes configs, systems,
+//!   workloads, and sweep axes; `build()` returns typed
+//!   [`ConfigError`]s instead of panicking.
+//! * [`scenario`] — a dependency-free `key = value` scenario-file
+//!   format describing a whole comparison, loaded via `--scenario`.
+//!
+//! The [`mod@bench`] module fans sweeps over (workload × cores × scale ×
+//! mlp × vault design) out across OS threads and emits machine-readable
+//! `silo-bench/v1` JSON through the dependency-free [`json`] module.
+//!
+//! # Library example
+//!
+//! ```
+//! use silo_sim::{ConfigError, Simulation};
+//!
+//! let sim = Simulation::builder()
+//!     .systems(["SILO", "baseline", "baseline-2x"])
+//!     .workloads(["uniform-private", "zipf:theta=0.9,footprint=4x"])
+//!     .cores([4])
+//!     .refs_per_core(500)
+//!     .seed(7)
+//!     .threads(2)
+//!     .build()?;
+//! let records = sim.run();
+//! assert_eq!(records.len(), 2); // one record per workload
+//! for record in &records {
+//!     assert_eq!(record.runs.len(), 3); // one run per system
+//!     let speedup = record.speedup().expect("SILO and baseline ran");
+//!     assert!(speedup.is_finite());
+//! }
+//! # Ok::<(), ConfigError>(())
+//! ```
 
 pub mod bench;
+pub mod builder;
 pub mod config;
+pub mod error;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod run;
+pub mod scenario;
 pub mod timing;
 pub mod workload;
 
-pub use bench::{run_sweep, run_sweep_sequential, BenchRecord, SweepPoint, SweepSpec};
+pub use bench::{run_sweep, run_sweep_sequential, BenchRecord, SweepPoint, SweepSpec, SystemRun};
+pub use builder::{Simulation, SimulationBuilder};
 pub use config::{SystemConfig, VaultDesign};
+pub use error::ConfigError;
 pub use json::Json;
-pub use report::{print_comparison, render_comparison, render_row, Comparison};
+pub use registry::{run_system, run_system_on_traces, SystemInstance, SystemRegistry, SystemSpec};
+pub use report::{name_widths, print_report, render_report, render_row};
 pub use run::{run, run_baseline, run_silo, Protocol, RunStats, ServedCounts};
+pub use scenario::Scenario;
 pub use timing::TimingModel;
 pub use workload::{Rng, WorkloadSpec};

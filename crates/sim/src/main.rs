@@ -1,32 +1,43 @@
-//! `silo-sim` CLI: run SILO vs. the shared-LLC baseline on synthetic
-//! scale-out workloads, either as a single Fig. 11-style comparison or
-//! as a parallel sweep over (cores × scale × mlp × vault design) with
-//! machine-readable JSON output.
+//! `silo-sim` CLI: a thin shim over the [`silo_sim::Simulation`]
+//! builder. Compares any set of registered systems (SILO, the shared-LLC
+//! baseline, and registry variants) on synthetic scale-out workloads,
+//! either as a Fig. 11-style comparison, a parallel sweep over
+//! (cores × scale × mlp × vault design), or a declarative
+//! `--scenario` file, with machine-readable JSON output.
 
-use silo_sim::bench::{self, SweepSpec};
-use silo_sim::{print_comparison, Comparison, SystemConfig, VaultDesign, WorkloadSpec};
+use silo_sim::bench::{self, BenchRecord, SweepSpec};
+use silo_sim::{ConfigError, Scenario, Simulation, SystemRegistry, SystemSpec, WorkloadSpec};
 use std::path::PathBuf;
 use std::time::Instant;
 
 const USAGE: &str = "\
-silo-sim: SILO private die-stacked DRAM caches vs. a shared NUCA LLC
+silo-sim: N-way comparisons of SILO private die-stacked DRAM caches,
+the shared NUCA-LLC baseline, and registry-defined variants
 
 USAGE:
     silo-sim [OPTIONS]
 
 OPTIONS:
+    --scenario FILE      load a declarative scenario file (key = value:
+                         systems, workloads, cores, scale, mlp, vault,
+                         seed, refs, threads); flags override it
+    --systems a,b,c      systems to compare (default SILO,baseline;
+                         see --list-systems)
     --cores N            cores / mesh nodes (default 16, max 64)
     --refs N             references per core (default: per-workload preset)
     --scale N            capacity scaling factor for caches AND working
                          sets (default 64; 1 = full 256 MiB vaults)
     --seed N             workload RNG seed (default 42)
     --mlp N              MSHRs per core (default 8)
-    --workloads a,b,c    comma-separated subset of the presets
+    --workloads a,b,c    comma-separated workloads: presets or custom
+                         specs like zipf:theta=0.9,footprint=4x
     --vault-design KIND  derive the vault from the silo-dram sweep:
                          'latency' (256 MiB-class), 'capacity'
                          (512 MiB-class), or 'table2' (the Table II
                          constants, default)
-    --list               list workload presets and exit
+    --list-systems       list registered systems and exit
+    --list-workloads     list workload presets and the custom-spec
+                         grammar, then exit (alias: --list)
     --help               show this help
 
 SWEEP MODE (any --sweep* flag enables it):
@@ -42,226 +53,239 @@ SWEEP MODE (any --sweep* flag enables it):
     --json PATH          write silo-bench/v1 JSON (works in both modes)
 ";
 
-fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("{USAGE}");
-    std::process::exit(2);
+/// Everything the flag parser collects; `None` means "not given", so
+/// scenario-file settings survive unless explicitly overridden.
+#[derive(Default)]
+struct Cli {
+    scenario: Option<PathBuf>,
+    systems: Option<Vec<String>>,
+    workloads: Option<Vec<String>>,
+    cores: Option<usize>,
+    refs: Option<usize>,
+    scale: Option<u64>,
+    seed: Option<u64>,
+    mlp: Option<usize>,
+    vault: Option<String>,
+    sweep: bool,
+    sweep_cores: Option<Vec<usize>>,
+    sweep_scales: Option<Vec<u64>>,
+    sweep_mlps: Option<Vec<usize>>,
+    sweep_vaults: Option<Vec<String>>,
+    threads: Option<usize>,
+    json: Option<PathBuf>,
 }
 
-fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
-    let Some(v) = value else {
-        fail(&format!("{flag} needs a value"));
-    };
-    match v.parse() {
-        Ok(x) => x,
-        Err(_) => fail(&format!("bad value '{v}' for {flag}")),
+fn bad(what: &str, value: impl Into<String>, reason: impl Into<String>) -> ConfigError {
+    ConfigError::BadValue {
+        what: what.into(),
+        value: value.into(),
+        reason: reason.into(),
     }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, ConfigError> {
+    let v = value.ok_or_else(|| bad(flag, "", "the flag needs a value"))?;
+    v.parse()
+        .map_err(|_| bad(flag, v.clone(), "not a valid value"))
 }
 
 /// Parses a comma-separated list, skipping empty segments (so `a,,b`
-/// and trailing commas are fine) and rejecting duplicates.
-fn parse_list<T: std::str::FromStr + PartialEq>(flag: &str, value: Option<String>) -> Vec<T> {
-    let raw: String = parse(flag, value);
-    let mut out: Vec<T> = Vec::new();
-    for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-        let Ok(v) = part.parse() else {
-            fail(&format!("bad value '{part}' for {flag}"));
-        };
-        if out.contains(&v) {
-            fail(&format!("duplicate value '{part}' for {flag}"));
-        }
-        out.push(v);
-    }
+/// and trailing commas are fine).
+fn parse_name_list(flag: &str, value: Option<String>) -> Result<Vec<String>, ConfigError> {
+    let raw: String = parse_value(flag, value)?;
+    let out: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
     if out.is_empty() {
-        fail(&format!("{flag} needs at least one value"));
+        return Err(bad(flag, raw, "needs at least one value"));
     }
-    out
+    Ok(out)
 }
 
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .max(4)
+fn parse_num_list<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<String>,
+) -> Result<Vec<T>, ConfigError> {
+    let names = parse_name_list(flag, value)?;
+    names
+        .iter()
+        .map(|n| {
+            n.parse()
+                .map_err(|_| bad(flag, n.clone(), "not a valid number"))
+        })
+        .collect()
 }
 
-fn main() {
-    let mut cfg = SystemConfig::paper_16core();
-    let mut specs = WorkloadSpec::all();
-    let mut refs_override: Option<usize> = None;
-    let mut seed = 42u64;
-    let mut vault = VaultDesign::Table2;
-    let mut sweep = false;
-    let mut sweep_cores: Option<Vec<usize>> = None;
-    let mut sweep_scales: Option<Vec<u64>> = None;
-    let mut sweep_mlps: Option<Vec<usize>> = None;
-    let mut sweep_vaults: Option<Vec<VaultDesign>> = None;
-    let mut threads: Option<usize> = None;
-    let mut json_path: Option<PathBuf> = None;
-
-    let mut args = std::env::args().skip(1);
+/// Parses the argument vector. Returns `None` when a `--list*` / `--help`
+/// flag already handled the invocation.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigError> {
+    let mut cli = Cli::default();
+    let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--cores" => {
-                let cores: usize = parse("--cores", args.next());
-                if !(1..=64).contains(&cores) {
-                    fail("--cores must be in [1, 64] (directory masks are u64)");
-                }
-                cfg = cfg.with_cores(cores);
+            "--scenario" => {
+                let p: String = parse_value("--scenario", args.next())?;
+                cli.scenario = Some(PathBuf::from(p));
             }
-            "--refs" => {
-                let refs: usize = parse("--refs", args.next());
-                if refs == 0 {
-                    fail("--refs must be at least 1");
-                }
-                refs_override = Some(refs);
-            }
-            "--scale" => {
-                cfg.scale = parse("--scale", args.next());
-                if cfg.scale == 0 {
-                    fail("--scale must be at least 1");
-                }
-            }
-            "--seed" => seed = parse("--seed", args.next()),
-            "--mlp" => {
-                cfg.mlp = parse("--mlp", args.next());
-                if cfg.mlp == 0 {
-                    fail("--mlp must be at least 1");
-                }
-            }
+            "--systems" => cli.systems = Some(parse_name_list("--systems", args.next())?),
             "--workloads" => {
-                let names: Vec<String> = parse_list("--workloads", args.next());
-                specs = names
-                    .iter()
-                    .map(|n| {
-                        WorkloadSpec::by_name(n)
-                            .unwrap_or_else(|| fail(&format!("unknown workload '{n}'")))
-                    })
-                    .collect();
+                let raw: String = parse_value("--workloads", args.next())?;
+                cli.workloads = Some(WorkloadSpec::split_list(&raw)?);
             }
-            "--vault-design" => {
-                let kind: String = parse("--vault-design", args.next());
-                let Some(v) = VaultDesign::parse(&kind) else {
-                    fail(&format!("unknown vault design '{kind}'"));
-                };
-                vault = v;
-                if vault != VaultDesign::Table2 {
-                    let Some(p) = vault.design_point() else {
-                        fail("vault sweep produced no feasible design");
-                    };
-                    println!(
-                        "vault design ({kind}-optimized): {} ({} MiB bucket), {:.2} ns array, {} banks",
-                        silo_types::ByteSize::from_bytes(p.capacity_bytes),
-                        p.capacity_bucket_mib(),
-                        p.latency_ns,
-                        p.config.banks_per_vault(),
-                    );
-                }
-            }
-            "--sweep" => sweep = true,
+            "--cores" => cli.cores = Some(parse_value("--cores", args.next())?),
+            "--refs" => cli.refs = Some(parse_value("--refs", args.next())?),
+            "--scale" => cli.scale = Some(parse_value("--scale", args.next())?),
+            "--seed" => cli.seed = Some(parse_value("--seed", args.next())?),
+            "--mlp" => cli.mlp = Some(parse_value("--mlp", args.next())?),
+            "--vault-design" => cli.vault = Some(parse_value("--vault-design", args.next())?),
+            "--sweep" => cli.sweep = true,
             "--sweep-cores" => {
-                let cores: Vec<usize> = parse_list("--sweep-cores", args.next());
-                if cores.iter().any(|c| !(1..=64).contains(c)) {
-                    fail("--sweep-cores values must be in [1, 64]");
-                }
-                sweep_cores = Some(cores);
-                sweep = true;
+                cli.sweep_cores = Some(parse_num_list("--sweep-cores", args.next())?);
+                cli.sweep = true;
             }
             "--sweep-scale" => {
-                let scales: Vec<u64> = parse_list("--sweep-scale", args.next());
-                if scales.contains(&0) {
-                    fail("--sweep-scale values must be at least 1");
-                }
-                sweep_scales = Some(scales);
-                sweep = true;
+                cli.sweep_scales = Some(parse_num_list("--sweep-scale", args.next())?);
+                cli.sweep = true;
             }
             "--sweep-mlp" => {
-                let mlps: Vec<usize> = parse_list("--sweep-mlp", args.next());
-                if mlps.contains(&0) {
-                    fail("--sweep-mlp values must be at least 1");
-                }
-                sweep_mlps = Some(mlps);
-                sweep = true;
+                cli.sweep_mlps = Some(parse_num_list("--sweep-mlp", args.next())?);
+                cli.sweep = true;
             }
             "--sweep-vault" => {
-                let names: Vec<String> = parse_list("--sweep-vault", args.next());
-                let vaults: Vec<VaultDesign> = names
-                    .iter()
-                    .map(|n| {
-                        VaultDesign::parse(n)
-                            .unwrap_or_else(|| fail(&format!("unknown vault design '{n}'")))
-                    })
-                    .collect();
-                for v in &vaults {
-                    if *v != VaultDesign::Table2 && v.design_point().is_none() {
-                        fail(&format!(
-                            "vault sweep has no feasible '{}' design",
-                            v.name()
-                        ));
-                    }
-                }
-                sweep_vaults = Some(vaults);
-                sweep = true;
+                cli.sweep_vaults = Some(parse_name_list("--sweep-vault", args.next())?);
+                cli.sweep = true;
             }
-            "--threads" => {
-                let t: usize = parse("--threads", args.next());
-                if t == 0 {
-                    fail("--threads must be at least 1");
-                }
-                threads = Some(t);
-            }
+            "--threads" => cli.threads = Some(parse_value("--threads", args.next())?),
             "--json" => {
-                let p: String = parse("--json", args.next());
-                json_path = Some(PathBuf::from(p));
+                let p: String = parse_value("--json", args.next())?;
+                cli.json = Some(PathBuf::from(p));
             }
-            "--list" => {
-                for w in WorkloadSpec::all() {
-                    println!(
-                        "{:<18} {:>6} refs/core  shared {:>4.0}%  writes {:>4.0}%  zipf {:.1}",
-                        w.name,
-                        w.refs_per_core,
-                        100.0 * w.shared_fraction,
-                        100.0 * w.write_fraction,
-                        w.zipf_theta
-                    );
-                }
-                return;
+            "--list-systems" => {
+                list_systems();
+                return Ok(None);
+            }
+            "--list" | "--list-workloads" => {
+                list_workloads();
+                return Ok(None);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
-                return;
+                return Ok(None);
             }
-            other => fail(&format!("unknown option '{other}'")),
+            other => {
+                return Err(bad(
+                    "argument",
+                    other,
+                    "unknown option (see silo-sim --help)",
+                ))
+            }
         }
     }
-    cfg.validate();
-    if specs.is_empty() {
-        fail("no workloads selected");
-    }
-    if let Some(refs) = refs_override {
-        for s in &mut specs {
-            s.refs_per_core = refs;
-        }
-    }
+    Ok(Some(cli))
+}
 
-    let spec = SweepSpec {
-        base: cfg,
-        cores: sweep_cores.unwrap_or_else(|| vec![cfg.cores]),
-        scales: sweep_scales.unwrap_or_else(|| vec![cfg.scale]),
-        mlps: sweep_mlps.unwrap_or_else(|| vec![cfg.mlp]),
-        vaults: sweep_vaults.unwrap_or_else(|| vec![vault]),
-        workloads: specs,
-        seed,
+fn list_systems() {
+    for spec in SystemRegistry::builtin().specs() {
+        println!("{:<18} {}", spec.name(), spec.description());
+    }
+}
+
+fn list_workloads() {
+    for w in WorkloadSpec::all() {
+        println!(
+            "{:<18} {:>6} refs/core  shared {:>4.0}%  writes {:>4.0}%  zipf {:.1}",
+            w.name,
+            w.refs_per_core,
+            100.0 * w.shared_fraction,
+            100.0 * w.write_fraction,
+            w.zipf_theta
+        );
+    }
+    println!();
+    println!("custom specs: base:key=value[,key=value...], e.g. zipf:theta=0.9,footprint=4x");
+    println!("keys: theta, footprint (4x or 64MiB), shared, writes, dependent, ifetch, refs, gap");
+}
+
+/// Assembles the builder from scenario + flags (flags win) and builds.
+fn build_simulation(cli: &Cli) -> Result<Simulation, ConfigError> {
+    let mut b = Simulation::builder();
+    if let Some(path) = &cli.scenario {
+        b = b.scenario(&Scenario::load(path)?);
+    }
+    if let Some(systems) = &cli.systems {
+        b = b.systems(systems.clone());
+    }
+    if let Some(workloads) = &cli.workloads {
+        b = b.workloads(workloads.clone());
+    }
+    // Sweep lists win over their single-value counterparts.
+    if let Some(cores) = &cli.sweep_cores {
+        b = b.cores(cores.iter().copied());
+    } else if let Some(cores) = cli.cores {
+        b = b.cores([cores]);
+    }
+    if let Some(scales) = &cli.sweep_scales {
+        b = b.scales(scales.iter().copied());
+    } else if let Some(scale) = cli.scale {
+        b = b.scales([scale]);
+    }
+    if let Some(mlps) = &cli.sweep_mlps {
+        b = b.mlps(mlps.iter().copied());
+    } else if let Some(mlp) = cli.mlp {
+        b = b.mlps([mlp]);
+    }
+    if let Some(vaults) = &cli.sweep_vaults {
+        b = b.vault_designs(vaults.clone());
+    } else if let Some(vault) = &cli.vault {
+        b = b.vault_designs([vault.clone()]);
+    }
+    if let Some(seed) = cli.seed {
+        b = b.seed(seed);
+    }
+    if let Some(refs) = cli.refs {
+        b = b.refs_per_core(refs);
+    }
+    if let Some(threads) = cli.threads {
+        b = b.threads(threads);
+    }
+    b.build()
+}
+
+fn main() {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sim = match build_simulation(&cli) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     };
 
-    let records = if sweep {
-        run_sweep_mode(&spec, threads.unwrap_or_else(default_threads))
+    let spec = sim.spec();
+    print_vault_designs(spec);
+    let sweep_mode = cli.sweep
+        || spec.cores.len() > 1
+        || spec.scales.len() > 1
+        || spec.mlps.len() > 1
+        || spec.vaults.len() > 1;
+    let records = if sweep_mode {
+        run_sweep_mode(&sim)
     } else {
-        run_classic_mode(&spec, threads.unwrap_or(1))
+        run_classic_mode(&sim)
     };
 
-    if let Some(path) = json_path {
-        if let Err(e) = bench::write_json_file(&path, &records, seed) {
+    if let Some(path) = &cli.json {
+        if let Err(e) = bench::write_json_file(path, &records, spec.seed) {
             eprintln!("error: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -269,9 +293,28 @@ fn main() {
     }
 }
 
+/// Reports the resolved `silo-dram` sweep point behind every non-Table II
+/// vault design, so users can see the capacity/latency/bank parameters
+/// actually simulated.
+fn print_vault_designs(spec: &SweepSpec) {
+    for v in &spec.vaults {
+        if let Some(p) = v.design_point() {
+            println!(
+                "vault design ({}-optimized): {} ({} MiB bucket), {:.2} ns array, {} banks",
+                v.name(),
+                silo_types::ByteSize::from_bytes(p.capacity_bytes),
+                p.capacity_bucket_mib(),
+                p.latency_ns,
+                p.config.banks_per_vault(),
+            );
+        }
+    }
+}
+
 /// The classic Fig. 11 comparison: the degenerate sweep, one point per
-/// workload, printed as the detail table + normalized summary.
-fn run_classic_mode(spec: &SweepSpec, threads: usize) -> Vec<bench::BenchRecord> {
+/// workload, printed as the detail table + normalized summaries.
+fn run_classic_mode(sim: &Simulation) -> Vec<BenchRecord> {
+    let spec = sim.spec();
     // Classic mode has exactly one vault design; apply it so the banner
     // reports the capacity the points actually simulate.
     let cfg = spec
@@ -279,65 +322,100 @@ fn run_classic_mode(spec: &SweepSpec, threads: usize) -> Vec<bench::BenchRecord>
         .first()
         .copied()
         .map_or(spec.base, |v| v.apply(spec.base));
+    let cfg = cfg.with_cores(spec.cores[0]);
+    let names: Vec<&str> = spec.systems.iter().map(SystemSpec::name).collect();
     println!(
-        "simulating {} cores on a {}x{} mesh (scale 1/{}, vault {}, LLC {}, seed {})",
+        "simulating {} on {} cores, {}x{} mesh (scale 1/{}, vault {}, LLC {}, seed {})",
+        names.join(" vs "),
         cfg.cores,
         cfg.mesh_width,
         cfg.mesh_height,
-        cfg.scale,
+        spec.scales[0],
         cfg.vault_capacity,
         cfg.llc_capacity,
         spec.seed
     );
     println!();
-    let records = bench::run_sweep(spec, threads);
-    let results: Vec<Comparison> = records.iter().map(|r| r.cmp.clone()).collect();
-    print_comparison(&results);
+    let records = sim.run();
+    silo_sim::print_report(&records);
     records
 }
 
-/// Sweep mode: one compact row per point plus the geomean speedup.
-fn run_sweep_mode(spec: &SweepSpec, threads: usize) -> Vec<bench::BenchRecord> {
+/// Sweep mode: one compact row per (point, system) plus per-system
+/// geomeans against the baseline.
+fn run_sweep_mode(sim: &Simulation) -> Vec<BenchRecord> {
+    let spec = sim.spec();
     let n_points = spec.points().len();
-    let threads = threads.clamp(1, n_points.max(1));
     println!(
-        "sweep: {n_points} points ({} workloads x {} cores x {} scales x {} mlp x {} vaults) on {threads} threads",
+        "sweep: {n_points} points ({} workloads x {} cores x {} scales x {} mlp x {} vaults) x {} systems on {} threads",
         spec.workloads.len(),
         spec.cores.len(),
         spec.scales.len(),
         spec.mlps.len(),
         spec.vaults.len(),
+        spec.systems.len(),
+        sim.threads(),
     );
     let t0 = Instant::now();
-    let records = bench::run_sweep(spec, threads);
+    let records = sim.run();
     let wall = t0.elapsed().as_secs_f64();
 
+    let (wl_w, sys_w) = silo_sim::name_widths(&records);
     let header = format!(
-        "{:<18} {:>5} {:>5} {:>4} {:>9} {:>9} {:>9} {:>8} {:>9}",
-        "workload", "cores", "scale", "mlp", "vault", "SILO-IPC", "base-IPC", "speedup", "wall(ms)"
+        "{:<wl_w$} {:>5} {:>5} {:>4} {:>9} {:>sys_w$} {:>9} {:>8} {:>9}",
+        "workload", "cores", "scale", "mlp", "vault", "system", "IPC", "vs-base", "wall(ms)"
     );
     println!("{header}");
     println!("{}", "-".repeat(header.chars().count()));
-    let mut speedups = Vec::with_capacity(records.len());
     for r in &records {
-        speedups.push(r.cmp.speedup());
-        println!(
-            "{:<18} {:>5} {:>5} {:>4} {:>9} {:>9.3} {:>9.3} {:>7.2}x {:>9.1}",
-            r.point.workload.name,
-            r.point.cores,
-            r.point.scale,
-            r.point.mlp,
-            r.point.vault.name(),
-            r.cmp.silo.ipc(),
-            r.cmp.baseline.ipc(),
-            r.cmp.speedup(),
-            r.silo_wall_ms + r.baseline_wall_ms,
-        );
+        for run in &r.runs {
+            let vs_base = r
+                .speedup_of(&run.stats.system, "baseline")
+                .map_or("-".to_string(), |s| format!("{s:.2}x"));
+            println!(
+                "{:<wl_w$} {:>5} {:>5} {:>4} {:>9} {:>sys_w$} {:>9.3} {:>8} {:>9.1}",
+                r.point.workload.name,
+                r.point.cores,
+                r.point.scale,
+                r.point.mlp,
+                r.point.vault.name(),
+                run.stats.system,
+                run.stats.ipc(),
+                vs_base,
+                run.wall_ms,
+            );
+        }
     }
     println!();
-    println!(
-        "geomean speedup {:.2}x over {n_points} points in {wall:.2} s",
-        silo_types::geomean(&speedups)
-    );
+    print_sweep_geomeans(spec, &records);
+    println!("{n_points} points in {wall:.2} s");
     records
+}
+
+/// Per-system geomean speedups over the baseline (skipped when the
+/// baseline is not part of the comparison).
+fn print_sweep_geomeans(spec: &SweepSpec, records: &[BenchRecord]) {
+    if !spec
+        .systems
+        .iter()
+        .any(|s| s.name().eq_ignore_ascii_case("baseline"))
+    {
+        return;
+    }
+    for sys in &spec.systems {
+        if sys.name().eq_ignore_ascii_case("baseline") {
+            continue;
+        }
+        let speedups: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.speedup_of(sys.name(), "baseline"))
+            .collect();
+        if !speedups.is_empty() {
+            println!(
+                "geomean {}/baseline {:.2}x",
+                sys.name(),
+                silo_types::geomean(&speedups)
+            );
+        }
+    }
 }

@@ -1,36 +1,47 @@
-//! Fig. 11-style result tables.
+//! Fig. 11-style result tables, generalized to N-way comparisons.
 //!
-//! For every workload the report shows, per system, the throughput (IPC),
-//! where accesses were served, and the mean LLC-access latency; the
-//! closing table gives SILO's normalized performance per workload and the
-//! geomean across workloads — the headline number of the paper's Fig. 11.
+//! For every workload the report shows, per system, the throughput
+//! (IPC), where accesses were served, and the mean LLC-access latency;
+//! the closing tables give each system's performance normalized to the
+//! reference system (the one named `baseline` when selected, else the
+//! last system) with the geomean across workloads — for the classic
+//! SILO/baseline pair, the headline number of the paper's Fig. 11.
 
+use crate::bench::BenchRecord;
 use crate::run::RunStats;
 use silo_coherence::ServedBy;
 use silo_types::geomean;
 
-/// A matched (SILO, baseline) pair for one workload.
-#[derive(Clone, Debug)]
-pub struct Comparison {
-    /// SILO run.
-    pub silo: RunStats,
-    /// Shared-LLC baseline run.
-    pub baseline: RunStats,
+/// Minimum widths of the name columns; [`name_widths`] grows them to
+/// fit long custom-spec workload names and registered system names.
+const MIN_WORKLOAD_W: usize = 18;
+const MIN_SYSTEM_W: usize = 16;
+
+/// The (workload, system) column widths that fit every record.
+pub fn name_widths(records: &[BenchRecord]) -> (usize, usize) {
+    let wl = records
+        .iter()
+        .map(|r| r.point.workload.name.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(MIN_WORKLOAD_W);
+    let sys = records
+        .iter()
+        .flat_map(|r| &r.runs)
+        .map(|run| run.stats.system.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(MIN_SYSTEM_W);
+    (wl, sys)
 }
 
-impl Comparison {
-    /// SILO performance normalized to the baseline (>1 means faster).
-    pub fn speedup(&self) -> f64 {
-        self.silo.ipc() / self.baseline.ipc()
-    }
-}
-
-/// Renders one run as a detail-table row (shared by the printed table
-/// and any textual report consumers; the JSON path reads the same
-/// [`RunStats`] accessors).
-pub fn render_row(s: &RunStats) -> String {
+/// Renders one run as a detail-table row with the given name-column
+/// widths (from [`name_widths`], so arbitrary-length custom workload
+/// and system names stay aligned). The JSON path reads the same
+/// [`RunStats`] accessors.
+pub fn render_row(s: &RunStats, workload_w: usize, system_w: usize) -> String {
     format!(
-        "{:<18} {:>8} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
+        "{:<workload_w$} {:>system_w$} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
         s.workload,
         s.system,
         s.ipc(),
@@ -44,14 +55,27 @@ pub fn render_row(s: &RunStats) -> String {
     )
 }
 
-/// Renders the per-workload detail table and the Fig. 11-style
-/// normalized performance summary into a string. Returns the text and
-/// the geomean speedup.
-pub fn render_comparison(results: &[Comparison]) -> (String, f64) {
+/// The system every other system is normalized against: `baseline` when
+/// it is part of the comparison, else the last system (so a custom pair
+/// still gets a sensible A-vs-B summary).
+fn reference_system(records: &[BenchRecord]) -> Option<String> {
+    let first = records.first()?;
+    if let Some(b) = first.run("baseline") {
+        return Some(b.stats.system.clone());
+    }
+    first.runs.last().map(|r| r.stats.system.clone())
+}
+
+/// Renders the per-workload detail table and the normalized performance
+/// summaries into a string. Returns the text and the headline geomean:
+/// SILO over the reference when SILO ran, else the first non-reference
+/// system's geomean, else 1.0.
+pub fn render_report(records: &[BenchRecord]) -> (String, f64) {
     use std::fmt::Write;
     let mut out = String::new();
+    let (wl_w, sys_w) = name_widths(records);
     let header = format!(
-        "{:<18} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
+        "{:<wl_w$} {:>sys_w$} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
         "workload", "system", "IPC", "L1", "vault", "remote", "LLC", "mem", "LLC-lat", "LLC-acc"
     );
     // The divider tracks the rendered header, so column changes never
@@ -59,29 +83,43 @@ pub fn render_comparison(results: &[Comparison]) -> (String, f64) {
     let divider = "-".repeat(header.chars().count());
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{divider}");
-    for c in results {
-        let _ = writeln!(out, "{}", render_row(&c.silo));
-        let _ = writeln!(out, "{}", render_row(&c.baseline));
+    for r in records {
+        for run in &r.runs {
+            let _ = writeln!(out, "{}", render_row(&run.stats, wl_w, sys_w));
+        }
     }
 
-    let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "normalized performance (SILO / shared-LLC baseline, Fig. 11):"
-    );
-    let speedups: Vec<f64> = results.iter().map(Comparison::speedup).collect();
-    for (c, s) in results.iter().zip(&speedups) {
-        let _ = writeln!(out, "  {:<18} {:>5.2}x", c.silo.workload, s);
+    let Some(reference) = reference_system(records) else {
+        return (out, 1.0);
+    };
+    let systems: Vec<String> = records
+        .first()
+        .map(|r| r.runs.iter().map(|run| run.stats.system.clone()).collect())
+        .unwrap_or_default();
+    let mut headline = None;
+    for sys in systems.iter().filter(|s| **s != reference) {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "normalized performance ({sys} / {reference}):");
+        let mut speedups = Vec::with_capacity(records.len());
+        for r in records {
+            if let Some(sp) = r.speedup_of(sys, &reference) {
+                let _ = writeln!(out, "  {:<wl_w$} {:>5.2}x", r.point.workload.name, sp);
+                speedups.push(sp);
+            }
+        }
+        let g = geomean(&speedups);
+        let _ = writeln!(out, "  {:<wl_w$} {:>5.2}x", "geomean", g);
+        if sys == "SILO" || headline.is_none() {
+            headline = Some(g);
+        }
     }
-    let g = geomean(&speedups);
-    let _ = writeln!(out, "  {:<18} {:>5.2}x", "geomean", g);
-    (out, g)
+    (out, headline.unwrap_or(1.0))
 }
 
-/// Prints the per-workload detail table and the Fig. 11-style normalized
-/// performance summary. Returns the geomean speedup.
-pub fn print_comparison(results: &[Comparison]) -> f64 {
-    let (text, g) = render_comparison(results);
+/// Prints the detail table and normalized summaries. Returns the
+/// headline geomean (see [`render_report`]).
+pub fn print_report(records: &[BenchRecord]) -> f64 {
+    let (text, g) = render_report(records);
     print!("{text}");
     g
 }
@@ -89,42 +127,71 @@ pub fn print_comparison(results: &[Comparison]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SystemConfig;
-    use crate::run::{run_baseline, run_silo};
-    use crate::workload::WorkloadSpec;
+    use crate::Simulation;
+
+    fn records(systems: &[&str]) -> Vec<BenchRecord> {
+        Simulation::builder()
+            .systems(systems.iter().copied())
+            .workloads(["uniform-private"])
+            .cores([4])
+            .refs_per_core(1_000)
+            .seed(1)
+            .build()
+            .expect("valid builder")
+            .run()
+    }
 
     #[test]
-    fn comparison_speedup_and_report_run() {
-        let cfg = SystemConfig::paper_16core().with_cores(4);
-        let spec = WorkloadSpec {
-            refs_per_core: 1_000,
-            ..WorkloadSpec::uniform_private()
-        };
-        let c = Comparison {
-            silo: run_silo(&cfg, &spec, 1),
-            baseline: run_baseline(&cfg, &spec, 1),
-        };
-        assert!(c.speedup() > 0.0);
-        let g = print_comparison(&[c]);
+    fn report_normalizes_against_baseline_and_returns_silo_geomean() {
+        let recs = records(&["SILO", "baseline", "baseline-2x"]);
+        let (text, g) = render_report(&recs);
         assert!(g > 0.0);
+        assert!(text.contains("normalized performance (SILO / baseline):"));
+        assert!(text.contains("normalized performance (baseline-2x / baseline):"));
+        let expected = recs[0].speedup().expect("pair present");
+        assert!((g - expected).abs() < 1e-12, "headline must be SILO's");
+    }
+
+    #[test]
+    fn report_without_baseline_normalizes_to_last_system() {
+        let recs = records(&["SILO", "silo-no-forward"]);
+        let (text, _) = render_report(&recs);
+        assert!(text.contains("normalized performance (SILO / silo-no-forward):"));
     }
 
     #[test]
     fn divider_matches_header_width() {
-        let cfg = SystemConfig::paper_16core().with_cores(2);
-        let spec = WorkloadSpec {
-            refs_per_core: 200,
-            ..WorkloadSpec::uniform_private()
-        };
-        let c = Comparison {
-            silo: run_silo(&cfg, &spec, 1),
-            baseline: run_baseline(&cfg, &spec, 1),
-        };
-        let (text, _) = render_comparison(&[c]);
+        let recs = records(&["SILO", "baseline"]);
+        let (text, _) = render_report(&recs);
         let mut lines = text.lines();
         let header = lines.next().expect("header line");
         let divider = lines.next().expect("divider line");
         assert_eq!(divider.chars().count(), header.chars().count());
         assert!(divider.chars().all(|ch| ch == '-'));
+    }
+
+    #[test]
+    fn long_custom_names_keep_columns_aligned() {
+        let recs = Simulation::builder()
+            .systems(["SILO", "baseline", "silo-no-forward"])
+            .workloads(["uniform-private", "zipf:theta=0.9,footprint=4x,refs=400"])
+            .cores([2])
+            .refs_per_core(400)
+            .seed(1)
+            .build()
+            .expect("valid builder")
+            .run();
+        let (wl_w, sys_w) = name_widths(&recs);
+        assert!(wl_w >= "zipf:theta=0.9,footprint=4x,refs=400".len());
+        assert!(sys_w >= "silo-no-forward".len());
+        let (text, _) = render_report(&recs);
+        // Every detail row is exactly as wide as the header: no column
+        // overflow from the long custom workload name.
+        let mut lines = text.lines();
+        let header_len = lines.next().expect("header").chars().count();
+        let n_rows = recs.len() * 3;
+        for row in lines.skip(1).take(n_rows) {
+            assert_eq!(row.chars().count(), header_len, "misaligned row: {row}");
+        }
     }
 }

@@ -16,19 +16,20 @@ use silo_coherence::{
 use silo_types::stats::{ratio, Counter, Histogram};
 use silo_types::{Cycles, MemRef};
 
-/// A protocol engine the simulation loop can drive.
+/// A protocol engine the simulation loop can drive. Object-safe, so the
+/// system registry can hand out `Box<dyn Protocol>` factories.
 pub trait Protocol {
     /// Executes one reference from `core`.
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult;
     /// Display name of the system.
-    fn system_name(&self) -> &'static str;
+    fn system_name(&self) -> &str;
 }
 
 impl Protocol for PrivateMoesi {
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
         PrivateMoesi::access(self, core, mr)
     }
-    fn system_name(&self) -> &'static str {
+    fn system_name(&self) -> &str {
         "SILO"
     }
 }
@@ -37,13 +38,43 @@ impl Protocol for SharedMesi {
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
         SharedMesi::access(self, core, mr)
     }
-    fn system_name(&self) -> &'static str {
+    fn system_name(&self) -> &str {
         "baseline"
     }
 }
 
+/// Builds the SILO engine for a config (shared by the concrete
+/// [`run_silo`] path and the registry factories, so both construct
+/// byte-identical hierarchies).
+pub(crate) fn silo_engine(cfg: &SystemConfig, o_state_forwarding: bool) -> PrivateMoesi {
+    PrivateMoesi::new(
+        cfg.cores,
+        &PrivateMoesiConfig {
+            node_spec: cfg.node_spec,
+            vault_capacity: cfg.vault_capacity,
+            scale: cfg.scale,
+            ideal_miss_predict: cfg.ideal_miss_predict,
+            o_state_forwarding,
+        },
+    )
+}
+
+/// Builds the shared-LLC baseline engine for a config (shared by
+/// [`run_baseline`] and the registry factories).
+pub(crate) fn baseline_engine(cfg: &SystemConfig) -> SharedMesi {
+    SharedMesi::new(
+        cfg.cores,
+        &SharedMesiConfig {
+            node_spec: cfg.node_spec,
+            llc_capacity: cfg.llc_capacity,
+            llc_ways: cfg.llc_ways,
+            scale: cfg.scale,
+        },
+    )
+}
+
 /// Per-service-level access counts.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServedCounts {
     /// L1 hits.
     pub l1: Counter,
@@ -96,12 +127,15 @@ impl ServedCounts {
 }
 
 /// Aggregated results of one (system, workload) run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every simulated field, so tests can assert two
+/// runs are bit-identical (e.g. dyn-dispatch vs. concrete-type paths).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunStats {
-    /// "SILO" or "baseline".
-    pub system: &'static str,
-    /// Workload name.
-    pub workload: &'static str,
+    /// Registry name of the system ("SILO", "baseline", or a variant).
+    pub system: String,
+    /// Workload name (preset name or the custom spec string).
+    pub workload: String,
     /// Instructions retired across all cores.
     pub instructions: u64,
     /// Makespan: the slowest core's finish cycle.
@@ -149,11 +183,11 @@ struct CoreState {
 /// # Panics
 ///
 /// Panics if `traces.len()` differs from the configured core count.
-pub fn run<P: Protocol>(
+pub fn run<P: Protocol + ?Sized>(
     engine: &mut P,
     timing: &mut TimingModel,
     cfg: &SystemConfig,
-    workload_name: &'static str,
+    workload_name: &str,
     traces: &[Vec<MemRef>],
 ) -> RunStats {
     assert_eq!(traces.len(), cfg.cores, "one trace per core");
@@ -224,8 +258,8 @@ pub fn run<P: Protocol>(
         .max()
         .unwrap_or(Cycles::ZERO);
     RunStats {
-        system: engine.system_name(),
-        workload: workload_name,
+        system: engine.system_name().to_string(),
+        workload: workload_name.to_string(),
         instructions: cores.iter().map(|c| c.instructions).sum(),
         cycles,
         served,
@@ -235,36 +269,22 @@ pub fn run<P: Protocol>(
     }
 }
 
-/// Builds and runs the SILO system over a workload.
+/// Builds and runs the SILO system over a workload (the concrete-type
+/// path; the registry's "SILO" entry produces bit-identical results
+/// through dyn dispatch).
 pub fn run_silo(cfg: &SystemConfig, spec: &WorkloadSpec, seed: u64) -> RunStats {
-    let mut engine = PrivateMoesi::new(
-        cfg.cores,
-        &PrivateMoesiConfig {
-            node_spec: cfg.node_spec,
-            vault_capacity: cfg.vault_capacity,
-            scale: cfg.scale,
-            ideal_miss_predict: cfg.ideal_miss_predict,
-        },
-    );
+    let mut engine = silo_engine(cfg, true);
     let mut timing = TimingModel::silo(cfg);
     let traces = spec.generate(cfg.cores, cfg.scale, seed);
-    run(&mut engine, &mut timing, cfg, spec.name, &traces)
+    run(&mut engine, &mut timing, cfg, &spec.name, &traces)
 }
 
 /// Builds and runs the shared-LLC baseline over the same workload.
 pub fn run_baseline(cfg: &SystemConfig, spec: &WorkloadSpec, seed: u64) -> RunStats {
-    let mut engine = SharedMesi::new(
-        cfg.cores,
-        &SharedMesiConfig {
-            node_spec: cfg.node_spec,
-            llc_capacity: cfg.llc_capacity,
-            llc_ways: cfg.llc_ways,
-            scale: cfg.scale,
-        },
-    );
+    let mut engine = baseline_engine(cfg);
     let mut timing = TimingModel::baseline(cfg);
     let traces = spec.generate(cfg.cores, cfg.scale, seed);
-    run(&mut engine, &mut timing, cfg, spec.name, &traces)
+    run(&mut engine, &mut timing, cfg, &spec.name, &traces)
 }
 
 #[cfg(test)]
@@ -358,15 +378,7 @@ mod tests {
         // `gap + 1` instructions and reported IPC = (gap+1)/gap > 1 here.
         use silo_types::{AccessKind, LineAddr};
         let cfg = SystemConfig::paper_16core().with_cores(1);
-        let mut engine = PrivateMoesi::new(
-            cfg.cores,
-            &PrivateMoesiConfig {
-                node_spec: cfg.node_spec,
-                vault_capacity: cfg.vault_capacity,
-                scale: cfg.scale,
-                ideal_miss_predict: cfg.ideal_miss_predict,
-            },
-        );
+        let mut engine = silo_engine(&cfg, true);
         let mut timing = TimingModel::silo(&cfg);
         let traces: Vec<Vec<MemRef>> = (0..cfg.cores)
             .map(|c| {
@@ -396,15 +408,7 @@ mod tests {
         // for N perfectly pipelined cores is N x base CPI 1.
         use silo_types::{AccessKind, LineAddr};
         let cfg = quick_cfg();
-        let mut engine = PrivateMoesi::new(
-            cfg.cores,
-            &PrivateMoesiConfig {
-                node_spec: cfg.node_spec,
-                vault_capacity: cfg.vault_capacity,
-                scale: cfg.scale,
-                ideal_miss_predict: cfg.ideal_miss_predict,
-            },
-        );
+        let mut engine = silo_engine(&cfg, true);
         let mut timing = TimingModel::silo(&cfg);
         let traces: Vec<Vec<MemRef>> = (0..cfg.cores)
             .map(|c| {

@@ -1,0 +1,294 @@
+//! Declarative scenario files: a dependency-free `key = value` format
+//! describing a complete comparison — systems, workloads (presets and
+//! custom parameterizations), and sweep axes — loaded via `--scenario`
+//! on the CLI or [`Scenario::load`] from library code.
+//!
+//! Format, one directive per line (`#` starts a comment, blank lines are
+//! skipped; list values are comma-separated):
+//!
+//! ```text
+//! # Fig. 11-style three-way comparison.
+//! systems   = SILO, baseline, baseline-2x
+//! workloads = uniform-private, zipf:theta=0.9,footprint=4x
+//! workload  = pointer-chase:dependent=0.8      # appends one more
+//! cores     = 16          # multiple values create a sweep axis
+//! scale     = 64
+//! mlp       = 8
+//! vault     = table2
+//! seed      = 42
+//! refs      = 4000        # per-core reference-count override
+//! threads   = 4
+//! ```
+//!
+//! Workload lists use the same grammar as `--workloads`
+//! ([`WorkloadSpec::split_list`]), so custom specs keep their
+//! comma-separated parameters. Every parse failure is a typed
+//! [`ConfigError::Scenario`] naming the 1-based line.
+
+use crate::error::ConfigError;
+use crate::workload::WorkloadSpec;
+use std::path::Path;
+
+/// A parsed scenario file: every field optional, merged onto a
+/// [`crate::SimulationBuilder`] (explicit builder/CLI settings applied
+/// afterwards win).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scenario {
+    /// Registry names of the systems to compare.
+    pub systems: Option<Vec<String>>,
+    /// Workload spec strings (preset names or custom parameterizations).
+    pub workloads: Option<Vec<String>>,
+    /// Core-count axis.
+    pub cores: Option<Vec<usize>>,
+    /// Capacity-scale axis.
+    pub scales: Option<Vec<u64>>,
+    /// MSHR-count axis.
+    pub mlps: Option<Vec<usize>>,
+    /// Vault-design names.
+    pub vaults: Option<Vec<String>>,
+    /// Workload RNG seed.
+    pub seed: Option<u64>,
+    /// Per-core reference-count override.
+    pub refs: Option<usize>,
+    /// Worker threads.
+    pub threads: Option<usize>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError::Scenario {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num_list<T: std::str::FromStr>(
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<Vec<T>, ConfigError> {
+    let mut out = Vec::new();
+    for part in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        out.push(
+            part.parse()
+                .map_err(|_| err(line, format!("bad {key} value '{part}'")))?,
+        );
+    }
+    if out.is_empty() {
+        return Err(err(line, format!("{key} needs at least one value")));
+    }
+    Ok(out)
+}
+
+fn parse_scalar<T: std::str::FromStr>(
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<T, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| err(line, format!("bad {key} value '{value}'")))
+}
+
+fn parse_name_list(line: usize, key: &str, value: &str) -> Result<Vec<String>, ConfigError> {
+    let out: Vec<String> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_string)
+        .collect();
+    if out.is_empty() {
+        return Err(err(line, format!("{key} needs at least one value")));
+    }
+    Ok(out)
+}
+
+impl Scenario {
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Scenario`] with the offending 1-based line
+    /// number for any syntax problem: missing `=`, unknown or duplicate
+    /// keys, unparseable values, or empty lists.
+    pub fn parse(text: &str) -> Result<Scenario, ConfigError> {
+        let mut s = Scenario::default();
+        let mut pending_workloads: Vec<String> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let n = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(n, format!("expected 'key = value', got '{line}'")))?;
+            let (key, value) = (key.trim().to_ascii_lowercase(), value.trim());
+            if value.is_empty() {
+                return Err(err(n, format!("key '{key}' has no value")));
+            }
+            let dup = |set: bool| -> Result<(), ConfigError> {
+                if set {
+                    Err(err(n, format!("duplicate key '{key}'")))
+                } else {
+                    Ok(())
+                }
+            };
+            match key.as_str() {
+                "systems" => {
+                    dup(s.systems.is_some())?;
+                    s.systems = Some(parse_name_list(n, "systems", value)?);
+                }
+                "workloads" => {
+                    dup(s.workloads.is_some())?;
+                    let items =
+                        WorkloadSpec::split_list(value).map_err(|e| err(n, e.to_string()))?;
+                    if items.is_empty() {
+                        return Err(err(n, "workloads needs at least one value"));
+                    }
+                    // Validate each spec here so malformed parameters are
+                    // reported with this line number, not later from the
+                    // builder without one.
+                    for item in &items {
+                        WorkloadSpec::parse(item).map_err(|e| err(n, e.to_string()))?;
+                    }
+                    s.workloads = Some(items);
+                }
+                // `workload` appends a single spec and may repeat.
+                "workload" => {
+                    WorkloadSpec::parse(value).map_err(|e| err(n, e.to_string()))?;
+                    pending_workloads.push(value.to_string());
+                }
+                "cores" => {
+                    dup(s.cores.is_some())?;
+                    s.cores = Some(parse_num_list(n, "cores", value)?);
+                }
+                "scale" => {
+                    dup(s.scales.is_some())?;
+                    s.scales = Some(parse_num_list(n, "scale", value)?);
+                }
+                "mlp" => {
+                    dup(s.mlps.is_some())?;
+                    s.mlps = Some(parse_num_list(n, "mlp", value)?);
+                }
+                "vault" => {
+                    dup(s.vaults.is_some())?;
+                    s.vaults = Some(parse_name_list(n, "vault", value)?);
+                }
+                "seed" => {
+                    dup(s.seed.is_some())?;
+                    s.seed = Some(parse_scalar(n, "seed", value)?);
+                }
+                "refs" => {
+                    dup(s.refs.is_some())?;
+                    s.refs = Some(parse_scalar(n, "refs", value)?);
+                }
+                "threads" => {
+                    dup(s.threads.is_some())?;
+                    s.threads = Some(parse_scalar(n, "threads", value)?);
+                }
+                other => return Err(err(n, format!("unknown key '{other}'"))),
+            }
+        }
+        if !pending_workloads.is_empty() {
+            s.workloads
+                .get_or_insert_with(Vec::new)
+                .extend(pending_workloads);
+        }
+        Ok(s)
+    }
+
+    /// Reads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Io`] when the file cannot be read and
+    /// [`ConfigError::Scenario`] for parse failures.
+    pub fn load(path: &Path) -> Result<Scenario, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Scenario::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let s = Scenario::parse(
+            "# three-way comparison\n\
+             systems = SILO, baseline, baseline-2x\n\
+             workloads = uniform-private, zipf:theta=0.9,footprint=4x\n\
+             workload = pointer-chase:dependent=0.8  # appended\n\
+             cores = 4, 8\n\
+             scale = 64\n\
+             mlp = 8\n\
+             vault = table2\n\
+             seed = 42\n\
+             refs = 4000\n\
+             threads = 2\n",
+        )
+        .expect("valid scenario");
+        assert_eq!(
+            s.systems.as_deref(),
+            Some(&["SILO".to_string(), "baseline".into(), "baseline-2x".into()][..])
+        );
+        assert_eq!(
+            s.workloads.as_deref(),
+            Some(
+                &[
+                    "uniform-private".to_string(),
+                    "zipf:theta=0.9,footprint=4x".into(),
+                    "pointer-chase:dependent=0.8".into(),
+                ][..]
+            )
+        );
+        assert_eq!(s.cores.as_deref(), Some(&[4usize, 8][..]));
+        assert_eq!(s.scales.as_deref(), Some(&[64u64][..]));
+        assert_eq!(s.seed, Some(42));
+        assert_eq!(s.refs, Some(4000));
+        assert_eq!(s.threads, Some(2));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let s = Scenario::parse("\n# all comments\n\n  # indented\n").expect("empty is fine");
+        assert_eq!(s, Scenario::default());
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        for (text, needle) in [
+            ("cores 16", "expected 'key = value'"),
+            ("warp = 9", "unknown key"),
+            ("cores = twelve", "bad cores value"),
+            ("cores =", "no value"),
+            ("seed = 1\nseed = 2", "duplicate key"),
+            ("workloads = footprint=4x", "must follow"),
+            ("workloads = zipf:theta=skewed", "not a number"),
+            ("workload = zipf:bogus=1", "unknown parameter"),
+            ("cores = ,", "at least one value"),
+            ("systems = ,", "at least one value"),
+            ("vault = ,", "at least one value"),
+        ] {
+            let e = Scenario::parse(text).expect_err(text);
+            match e {
+                ConfigError::Scenario { line, message } => {
+                    assert!(line >= 1, "{text}: line {line}");
+                    assert!(
+                        message.contains(needle),
+                        "'{text}' produced '{message}', wanted '{needle}'"
+                    );
+                }
+                other => panic!("'{text}' produced non-scenario error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_reports_missing_files_as_io_errors() {
+        let e = Scenario::load(Path::new("/nonexistent/x.scenario")).expect_err("missing");
+        assert!(matches!(e, ConfigError::Io(_)));
+    }
+}

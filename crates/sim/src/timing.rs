@@ -31,8 +31,13 @@ pub struct TimingModel {
 impl TimingModel {
     /// Resources for the SILO system: a mesh, one vault bank-array per
     /// node, and main memory. LLC steps are absent by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent config; the builder API validates
+    /// upstream and returns [`crate::ConfigError`] instead.
     pub fn silo(cfg: &SystemConfig) -> Self {
-        cfg.validate();
+        cfg.validate().expect("invalid SystemConfig");
         TimingModel {
             mesh: Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.hop_cycles),
             vaults: (0..cfg.cores)
@@ -47,8 +52,13 @@ impl TimingModel {
 
     /// Resources for the shared-LLC baseline: a mesh, one LLC bank per
     /// node, and main memory. Vault steps are absent by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent config; the builder API validates
+    /// upstream and returns [`crate::ConfigError`] instead.
     pub fn baseline(cfg: &SystemConfig) -> Self {
-        cfg.validate();
+        cfg.validate().expect("invalid SystemConfig");
         TimingModel {
             mesh: Mesh::new(cfg.mesh_width, cfg.mesh_height, cfg.hop_cycles),
             vaults: Vec::new(),

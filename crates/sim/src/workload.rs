@@ -11,6 +11,7 @@
 //! at `(core + 1) << 32`, its code region at `(core + 1) << 24 | 1 << 44`,
 //! and the shared region at `1 << 52`. Regions never overlap.
 
+use crate::error::ConfigError;
 use silo_types::{AccessKind, LineAddr, MemRef};
 
 /// SplitMix64: a tiny, high-quality deterministic generator.
@@ -95,10 +96,11 @@ impl Zipf {
 
 /// A synthetic workload: region sizes, mix ratios, and memory-level
 /// parallelism character.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
-    /// Display name.
-    pub name: &'static str,
+    /// Display name: the preset name, or the full spec string for custom
+    /// parameterizations (e.g. `zipf:theta=0.9,footprint=4x`).
+    pub name: String,
     /// References generated per core.
     pub refs_per_core: usize,
     /// Private heap working set per core, in lines (after scaling).
@@ -128,7 +130,7 @@ impl WorkloadSpec {
     /// 256 MiB vault.
     pub fn uniform_private() -> Self {
         WorkloadSpec {
-            name: "uniform-private",
+            name: "uniform-private".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB64,
             shared_lines: ByteLines::MIB4,
@@ -146,7 +148,7 @@ impl WorkloadSpec {
     /// a hot, read-mostly shared document cache.
     pub fn zipf_shared() -> Self {
         WorkloadSpec {
-            name: "zipf-shared",
+            name: "zipf-shared".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB32,
             shared_lines: ByteLines::MIB16,
@@ -164,7 +166,7 @@ impl WorkloadSpec {
     /// MapReduce-style profile where cores exchange partitions.
     pub fn shared_mix() -> Self {
         WorkloadSpec {
-            name: "shared-mix",
+            name: "shared-mix".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB48,
             shared_lines: ByteLines::MIB8,
@@ -182,7 +184,7 @@ impl WorkloadSpec {
     /// profile where dependent misses serialise.
     pub fn pointer_chase() -> Self {
         WorkloadSpec {
-            name: "pointer-chase",
+            name: "pointer-chase".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB32,
             shared_lines: ByteLines::MIB4,
@@ -201,7 +203,7 @@ impl WorkloadSpec {
     /// each other, stressing invalidations and dirty forwarding.
     pub fn producer_consumer() -> Self {
         WorkloadSpec {
-            name: "producer-consumer",
+            name: "producer-consumer".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB16,
             shared_lines: ByteLines::MIB8,
@@ -220,7 +222,7 @@ impl WorkloadSpec {
     /// leans on the vault's instruction capture.
     pub fn code_heavy() -> Self {
         WorkloadSpec {
-            name: "code-heavy",
+            name: "code-heavy".into(),
             refs_per_core: 20_000,
             private_lines: ByteLines::MIB16,
             shared_lines: ByteLines::MIB4,
@@ -249,6 +251,209 @@ impl WorkloadSpec {
     /// Looks a preset up by name.
     pub fn by_name(name: &str) -> Option<WorkloadSpec> {
         Self::all().into_iter().find(|w| w.name == name)
+    }
+
+    /// Resolves a custom-spec base: any preset name, plus the family
+    /// aliases `zipf` (zipf-shared) and `uniform` (uniform-private).
+    fn base_by_name(name: &str) -> Option<WorkloadSpec> {
+        match name {
+            "zipf" => Some(Self::zipf_shared()),
+            "uniform" => Some(Self::uniform_private()),
+            _ => Self::by_name(name),
+        }
+    }
+
+    /// Parses a workload spec string: either a preset name
+    /// (`pointer-chase`) or a custom parameterization of the form
+    /// `base:key=value[,key=value...]` (e.g.
+    /// `zipf:theta=0.9,footprint=4x`). The same grammar is accepted by
+    /// `--workloads` on the CLI and by scenario files.
+    ///
+    /// Recognized keys: `theta` (Zipf skew ≥ 0), `footprint` (private
+    /// working set — `4x` multiplies the base, `64MiB` sets it
+    /// absolutely), `shared` / `writes` / `dependent` / `ifetch`
+    /// (fractions in `[0, 1]`), `refs` (references per core ≥ 1), and
+    /// `gap` (mean instructions between references).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownWorkload`] for an unknown base and
+    /// [`ConfigError::BadWorkloadSpec`] for malformed parameters.
+    pub fn parse(spec: &str) -> Result<WorkloadSpec, ConfigError> {
+        Self::parse_with_default_refs(spec, None)
+    }
+
+    /// Like [`WorkloadSpec::parse`], but with a default per-core
+    /// reference count applied to the base *before* the spec's
+    /// parameters, so an explicit `refs=` parameter in the spec wins
+    /// over the default. This is how the builder's global refs override
+    /// composes with custom specs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkloadSpec::parse`].
+    pub fn parse_with_default_refs(
+        spec: &str,
+        default_refs: Option<usize>,
+    ) -> Result<WorkloadSpec, ConfigError> {
+        let spec = spec.trim();
+        let (base, params) = match spec.split_once(':') {
+            Some((b, p)) => (b.trim(), Some(p)),
+            None => (spec, None),
+        };
+        let mut w = Self::base_by_name(base)
+            .ok_or_else(|| ConfigError::UnknownWorkload(base.to_string()))?;
+        if let Some(refs) = default_refs {
+            w.refs_per_core = refs;
+        }
+        let Some(params) = params else {
+            return Ok(w);
+        };
+        let bad = |reason: String| ConfigError::BadWorkloadSpec {
+            spec: spec.to_string(),
+            reason,
+        };
+        for kv in params.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| bad(format!("parameter '{kv}' is not key=value")))?;
+            let (key, value) = (key.trim(), value.trim());
+            let fraction = |w: &str| -> Result<f64, ConfigError> {
+                let f: f64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("{w} '{value}' is not a number")))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(bad(format!("{w} '{value}' outside [0, 1]")));
+                }
+                Ok(f)
+            };
+            match key {
+                "theta" => {
+                    let t: f64 = value
+                        .parse()
+                        .map_err(|_| bad(format!("theta '{value}' is not a number")))?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(bad(format!("theta '{value}' must be finite and >= 0")));
+                    }
+                    w.zipf_theta = t;
+                }
+                "footprint" => {
+                    if let Some(mult) = value.strip_suffix(['x', 'X']) {
+                        let m: u64 = mult.parse().map_err(|_| {
+                            bad(format!("footprint multiplier '{value}' is not an integer"))
+                        })?;
+                        if m == 0 {
+                            return Err(bad("footprint multiplier must be >= 1".into()));
+                        }
+                        w.private_lines = w.private_lines.saturating_mul(m);
+                    } else if let Some(mib) = value
+                        .strip_suffix("MiB")
+                        .or_else(|| value.strip_suffix("mib"))
+                    {
+                        let m: u64 = mib.parse().map_err(|_| {
+                            bad(format!("footprint size '{value}' is not an integer MiB"))
+                        })?;
+                        if m == 0 {
+                            return Err(bad("footprint must be >= 1 MiB".into()));
+                        }
+                        w.private_lines = m
+                            .checked_mul(1024 * 1024 / 64)
+                            .ok_or_else(|| bad(format!("footprint '{value}' overflows")))?;
+                    } else {
+                        return Err(bad(format!(
+                            "footprint '{value}' needs an 'x' multiplier or 'MiB' suffix"
+                        )));
+                    }
+                }
+                "shared" => w.shared_fraction = fraction("shared fraction")?,
+                "writes" => w.write_fraction = fraction("write fraction")?,
+                "dependent" => w.dependent_fraction = fraction("dependent fraction")?,
+                "ifetch" => w.ifetch_fraction = fraction("ifetch fraction")?,
+                "refs" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| bad(format!("refs '{value}' is not an integer")))?;
+                    if n == 0 {
+                        return Err(bad("refs must be >= 1".into()));
+                    }
+                    w.refs_per_core = n;
+                }
+                "gap" => {
+                    w.mean_gap = value
+                        .parse()
+                        .map_err(|_| bad(format!("gap '{value}' is not an integer")))?;
+                }
+                other => return Err(bad(format!("unknown parameter '{other}'"))),
+            }
+        }
+        w.name = spec.to_string();
+        Ok(w)
+    }
+
+    /// Splits a comma-separated list of workload specs into individual
+    /// spec strings, keeping custom-spec parameters attached to their
+    /// base: a segment of the form `key=value` (no `:` before the `=`)
+    /// continues the previous spec — which must itself be a custom spec
+    /// (contain a `:`) — and anything else starts a new one. So
+    /// `a,zipf:theta=0.9,footprint=4x,b` yields
+    /// `["a", "zipf:theta=0.9,footprint=4x", "b"]`, while
+    /// `a,footprint=4x` is rejected (the parameter has no custom spec to
+    /// attach to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadWorkloadSpec`] for a parameter segment
+    /// that does not follow a `base:key=value` spec.
+    pub fn split_list(raw: &str) -> Result<Vec<String>, ConfigError> {
+        let mut items: Vec<String> = Vec::new();
+        for seg in raw.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let continuation = match (seg.find('='), seg.find(':')) {
+                (Some(eq), Some(colon)) => colon > eq,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if continuation {
+                match items.last_mut() {
+                    Some(last) if last.contains(':') => {
+                        last.push(',');
+                        last.push_str(seg);
+                    }
+                    _ => {
+                        return Err(ConfigError::BadWorkloadSpec {
+                            spec: seg.to_string(),
+                            reason: "parameter segment must follow a 'base:key=value' \
+                                     custom spec (missing ':' after the base name?)"
+                                .into(),
+                        })
+                    }
+                }
+            } else {
+                items.push(seg.to_string());
+            }
+        }
+        Ok(items)
+    }
+
+    /// Parses a comma-separated list of workload specs (presets and
+    /// custom parameterizations), rejecting duplicates by name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkloadSpec::parse`] errors and returns
+    /// [`ConfigError::Duplicate`] for repeated names.
+    pub fn parse_list(raw: &str) -> Result<Vec<WorkloadSpec>, ConfigError> {
+        let mut out: Vec<WorkloadSpec> = Vec::new();
+        for item in Self::split_list(raw)? {
+            let w = Self::parse(&item)?;
+            if out.iter().any(|o| o.name == w.name) {
+                return Err(ConfigError::Duplicate {
+                    what: "workload",
+                    name: w.name,
+                });
+            }
+            out.push(w);
+        }
+        Ok(out)
     }
 
     /// Generates the per-core reference streams, deterministically from
@@ -452,6 +657,100 @@ mod tests {
         assert!(WorkloadSpec::by_name("code-heavy").is_some());
         assert!(WorkloadSpec::by_name("nope").is_none());
         assert!(WorkloadSpec::all().len() >= 6);
+    }
+
+    #[test]
+    fn parse_accepts_presets_and_custom_specs() {
+        let w = WorkloadSpec::parse("pointer-chase").expect("preset");
+        assert_eq!(w.name, "pointer-chase");
+
+        let w = WorkloadSpec::parse("zipf:theta=0.9,footprint=4x").expect("custom");
+        assert_eq!(w.name, "zipf:theta=0.9,footprint=4x");
+        assert_eq!(w.zipf_theta, 0.9);
+        assert_eq!(
+            w.private_lines,
+            WorkloadSpec::zipf_shared().private_lines * 4
+        );
+
+        let w = WorkloadSpec::parse("uniform:footprint=64MiB,refs=1234").expect("absolute");
+        assert_eq!(w.private_lines, 64 * 1024 * 1024 / 64);
+        assert_eq!(w.refs_per_core, 1234);
+
+        let w = WorkloadSpec::parse("pointer-chase:dependent=0.9,gap=2").expect("chase");
+        assert_eq!(w.dependent_fraction, 0.9);
+        assert_eq!(w.mean_gap, 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_with_typed_errors() {
+        assert!(matches!(
+            WorkloadSpec::parse("nope"),
+            Err(ConfigError::UnknownWorkload(_))
+        ));
+        for bad in [
+            "zipf:theta=skewed",
+            "zipf:theta=-1",
+            "zipf:shared=1.5",
+            "zipf:footprint=4",
+            "zipf:footprint=0x",
+            "zipf:footprint=99999999999999999MiB",
+            "zipf:refs=0",
+            "zipf:bogus=1",
+            "zipf:theta",
+        ] {
+            assert!(
+                matches!(
+                    WorkloadSpec::parse(bad),
+                    Err(ConfigError::BadWorkloadSpec { .. })
+                ),
+                "'{bad}' must be rejected as a bad spec"
+            );
+        }
+    }
+
+    #[test]
+    fn default_refs_yield_to_an_explicit_refs_parameter() {
+        let w = WorkloadSpec::parse_with_default_refs("zipf:refs=100", Some(4_000)).expect("ok");
+        assert_eq!(w.refs_per_core, 100, "explicit refs= must win");
+        let w = WorkloadSpec::parse_with_default_refs("zipf-shared", Some(4_000)).expect("ok");
+        assert_eq!(w.refs_per_core, 4_000, "default applies without refs=");
+    }
+
+    #[test]
+    fn split_list_keeps_parameters_with_their_base() {
+        let items =
+            WorkloadSpec::split_list("uniform-private,zipf:theta=0.9,footprint=4x,code-heavy")
+                .expect("split");
+        assert_eq!(
+            items,
+            vec![
+                "uniform-private".to_string(),
+                "zipf:theta=0.9,footprint=4x".to_string(),
+                "code-heavy".to_string(),
+            ]
+        );
+        assert!(WorkloadSpec::split_list("footprint=4x,zipf").is_err());
+        // A parameter after a plain preset (no ':') is a user mistake,
+        // not a continuation: reject it instead of gluing a garbage name.
+        assert!(matches!(
+            WorkloadSpec::split_list("uniform-private,refs=500"),
+            Err(ConfigError::BadWorkloadSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_list_rejects_duplicates() {
+        assert!(WorkloadSpec::parse_list("zipf-shared,code-heavy").is_ok());
+        assert!(matches!(
+            WorkloadSpec::parse_list("zipf-shared,zipf-shared"),
+            Err(ConfigError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_specs_generate_deterministically() {
+        let w = WorkloadSpec::parse("zipf:theta=0.5,footprint=2x").expect("custom");
+        assert_eq!(w.generate(2, 64, 9), w.generate(2, 64, 9));
     }
 
     #[test]

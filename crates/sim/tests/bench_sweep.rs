@@ -1,9 +1,10 @@
 //! Sweep-harness integration tests: the parallel runner must be
 //! bit-identical to sequential execution, and the emitted JSON must
-//! parse and round-trip the key fields.
+//! parse and round-trip the key fields (including the legacy
+//! `silo`/`baseline` point objects and the N-way `systems` array).
 
 use silo_sim::bench::{run_sweep, run_sweep_sequential, sweep_json, SweepSpec, SCHEMA};
-use silo_sim::{Json, SystemConfig, VaultDesign, WorkloadSpec};
+use silo_sim::{Json, SystemConfig, SystemRegistry, VaultDesign, WorkloadSpec};
 
 fn sweep_spec() -> SweepSpec {
     let shrink = |w: WorkloadSpec| WorkloadSpec {
@@ -12,6 +13,7 @@ fn sweep_spec() -> SweepSpec {
     };
     SweepSpec {
         base: SystemConfig::paper_16core(),
+        systems: SystemRegistry::builtin().classic_pair(),
         cores: vec![2, 4],
         scales: vec![64, 128],
         mlps: vec![4],
@@ -35,19 +37,15 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
         assert_eq!(a.point.workload.name, b.point.workload.name);
         assert_eq!(a.point.cores, b.point.cores);
         assert_eq!(a.point.scale, b.point.scale);
-        for (x, y) in [
-            (&a.cmp.silo, &b.cmp.silo),
-            (&a.cmp.baseline, &b.cmp.baseline),
-        ] {
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            // RunStats compares every simulated field; only wall_ms may
+            // differ between the parallel and sequential runs.
             assert_eq!(
-                x.cycles, y.cycles,
-                "{} cycles diverged",
-                a.point.workload.name
+                x.stats, y.stats,
+                "{} {} diverged",
+                a.point.workload.name, x.stats.system
             );
-            assert_eq!(x.instructions, y.instructions);
-            assert_eq!(x.llc_accesses, y.llc_accesses);
-            assert_eq!(x.mesh_messages, y.mesh_messages);
-            assert_eq!(x.served.total(), y.served.total());
         }
     }
 }
@@ -63,8 +61,9 @@ fn oversubscribed_thread_counts_still_match() {
     let par = run_sweep(&spec, 64);
     assert_eq!(seq.len(), par.len());
     for (a, b) in seq.iter().zip(&par) {
-        assert_eq!(a.cmp.silo.cycles, b.cmp.silo.cycles);
-        assert_eq!(a.cmp.baseline.cycles, b.cmp.baseline.cycles);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.stats.cycles, y.stats.cycles);
+        }
     }
 }
 
@@ -83,6 +82,12 @@ fn emitted_json_parses_and_round_trips_key_fields() {
             .expect("geomean")
             > 0.0
     );
+    let systems = doc
+        .get("systems")
+        .and_then(Json::as_arr)
+        .expect("top-level systems list");
+    assert_eq!(systems.len(), 2);
+    assert_eq!(systems[0].as_str(), Some("SILO"));
 
     let points = doc
         .get("points")
@@ -92,7 +97,7 @@ fn emitted_json_parses_and_round_trips_key_fields() {
     for (p, r) in points.iter().zip(&records) {
         assert_eq!(
             p.get("workload").and_then(Json::as_str),
-            Some(r.point.workload.name)
+            Some(r.point.workload.name.as_str())
         );
         assert_eq!(
             p.get("cores").and_then(Json::as_i64),
@@ -103,9 +108,22 @@ fn emitted_json_parses_and_round_trips_key_fields() {
             Some(r.point.vault.name())
         );
         let speedup = p.get("speedup").and_then(Json::as_f64).expect("speedup");
-        assert!((speedup - r.cmp.speedup()).abs() < 1e-12);
-        for (key, stats) in [("silo", &r.cmp.silo), ("baseline", &r.cmp.baseline)] {
-            let sys = p.get(key).expect("system object");
+        assert!((speedup - r.speedup().expect("pair present")).abs() < 1e-12);
+        let listed = p
+            .get("systems")
+            .and_then(Json::as_arr)
+            .expect("per-point systems array");
+        assert_eq!(listed.len(), r.runs.len());
+        for (key, run) in [
+            ("silo", r.run("SILO").expect("silo ran")),
+            ("baseline", r.run("baseline").expect("baseline ran")),
+        ] {
+            let stats = &run.stats;
+            let sys = p.get(key).expect("legacy system object");
+            assert_eq!(
+                sys.get("system").and_then(Json::as_str),
+                Some(stats.system.as_str())
+            );
             assert_eq!(
                 sys.get("cycles").and_then(Json::as_i64),
                 Some(stats.cycles.as_u64() as i64),
@@ -152,6 +170,7 @@ fn hit_only_ipc_stays_at_or_below_one_through_the_harness() {
     // the base-CPI-1 ceiling applies literally.
     let spec = SweepSpec {
         base: SystemConfig::paper_16core(),
+        systems: SystemRegistry::builtin().classic_pair(),
         cores: vec![1],
         scales: vec![64],
         mlps: vec![8],
@@ -170,15 +189,13 @@ fn hit_only_ipc_stays_at_or_below_one_through_the_harness() {
         seed: 3,
     };
     for r in run_sweep(&spec, 2) {
-        assert!(
-            r.cmp.silo.ipc() <= 1.0,
-            "hit-heavy SILO IPC {} above base-CPI ceiling",
-            r.cmp.silo.ipc()
-        );
-        assert!(
-            r.cmp.baseline.ipc() <= 1.0,
-            "hit-heavy baseline IPC {} above base-CPI ceiling",
-            r.cmp.baseline.ipc()
-        );
+        for run in &r.runs {
+            assert!(
+                run.stats.ipc() <= 1.0,
+                "hit-heavy {} IPC {} above base-CPI ceiling",
+                run.stats.system,
+                run.stats.ipc()
+            );
+        }
     }
 }

@@ -75,7 +75,7 @@ pub fn ratio(num: u64, den: u64) -> f64 {
 /// Buckets are linear up to `linear_max` with the given width, plus one
 /// overflow bucket. Tracks count, sum, and max so means remain exact even
 /// when samples land in the overflow bucket.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     bucket_width: u64,
     buckets: Vec<u64>,
