@@ -23,6 +23,7 @@ pub mod mesi;
 pub mod moesi;
 pub mod node;
 pub mod state;
+pub mod stats;
 pub mod step;
 
 pub use directory::{DirView, DuplicateTagDirectory};
@@ -30,4 +31,5 @@ pub use mesi::{SharedMesi, SharedMesiConfig};
 pub use moesi::{PrivateMoesi, PrivateMoesiConfig};
 pub use node::{Node, NodeSpec};
 pub use state::State;
+pub use stats::CoherenceStats;
 pub use step::{AccessResult, Background, ServedBy, Step};

@@ -12,6 +12,7 @@
 use crate::directory::DuplicateTagDirectory;
 use crate::node::{Node, NodeSpec, SramHit};
 use crate::state::State;
+use crate::stats::CoherenceStats;
 use crate::step::{AccessResult, Background, ServedBy, Step};
 use silo_cache::{ReplacementPolicy, SetAssocCache};
 use silo_types::{ByteSize, LineAddr, MemRef};
@@ -51,6 +52,7 @@ pub struct SharedMesi {
     banks: Vec<SetAssocCache<LlcLine>>,
     /// Tracks SRAM-level copies; way position = core id.
     dir: DuplicateTagDirectory,
+    stats: CoherenceStats,
 }
 
 impl SharedMesi {
@@ -78,7 +80,21 @@ impl SharedMesi {
                 })
                 .collect(),
             dir: DuplicateTagDirectory::new(n_cores),
+            stats: CoherenceStats::default(),
         }
+    }
+
+    /// Coherence event counters since construction (or the last
+    /// [`SharedMesi::reset_stats`]). `o_state_forwards` stays zero:
+    /// MESI has no O state.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Zeroes the event counters without touching any protocol state
+    /// (the telemetry warmup boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Number of cores (and LLC banks).
@@ -152,6 +168,7 @@ impl SharedMesi {
     /// bank's directory and take M.
     fn upgrade(&mut self, core: usize, line: LineAddr, r: &mut AccessResult) {
         r.llc_access = true;
+        self.stats.upgrades.inc();
         let bank = self.bank_of(line);
         r.steps.push(Step::Net {
             from: core,
@@ -296,6 +313,9 @@ impl SharedMesi {
             Some(victim) => victim.payload,
             None => false,
         };
+        if dirty_writeback {
+            self.stats.dirty_writebacks.inc();
+        }
         r.background.push(Background::LlcFill {
             bank,
             dirty_writeback,
@@ -307,6 +327,9 @@ impl SharedMesi {
     fn fill_sram(&mut self, core: usize, line: LineAddr, mr: MemRef, r: &mut AccessResult) {
         if let Some(victim) = self.nodes[core].fill(line, mr.kind) {
             let prev = self.dir.set_state(victim, core, State::I);
+            if prev.is_valid() {
+                self.stats.directory_evictions.inc();
+            }
             if prev == State::M {
                 self.fill_llc(victim, true, r);
                 r.background.push(Background::L1Writeback { node: core });
@@ -318,6 +341,7 @@ impl SharedMesi {
     /// directory entries. A dirty invalidated copy needs no writeback —
     /// it is superseded by the requester's M copy.
     fn invalidate_holders(&mut self, line: LineAddr, mask: u64) {
+        self.stats.invalidations.add(u64::from(mask.count_ones()));
         for node in 0..self.nodes.len() {
             if mask & (1u64 << node) != 0 {
                 self.nodes[node].invalidate(line);
@@ -502,6 +526,22 @@ mod tests {
         assert_eq!(m.directory().state_of(l, 0), State::I, "L1 victim retired");
         let r = m.access(0, MemRef::read(l));
         assert_eq!(r.served_by(), ServedBy::SharedLlc);
+        m.check().unwrap();
+    }
+
+    #[test]
+    fn stats_count_upgrades_and_invalidations_without_o_forwards() {
+        let mut m = small();
+        let l = LineAddr::new(42);
+        m.access(0, MemRef::read(l));
+        m.access(1, MemRef::read(l));
+        m.access(0, MemRef::write(l)); // upgrade, invalidates core 1
+        let s = m.stats();
+        assert_eq!(s.upgrades.get(), 1);
+        assert_eq!(s.invalidations.get(), 1);
+        assert_eq!(s.o_state_forwards.get(), 0, "MESI has no O state");
+        m.reset_stats();
+        assert_eq!(m.stats(), crate::CoherenceStats::default());
         m.check().unwrap();
     }
 

@@ -16,6 +16,7 @@
 use crate::directory::DuplicateTagDirectory;
 use crate::node::{Node, NodeSpec, SramHit};
 use crate::state::State;
+use crate::stats::CoherenceStats;
 use crate::step::{AccessResult, Background, ServedBy, Step};
 use silo_cache::{ReplacementPolicy, SetAssocCache};
 use silo_types::{ByteSize, LineAddr, MemRef};
@@ -63,6 +64,7 @@ pub struct PrivateMoesi {
     dir: DuplicateTagDirectory,
     ideal_miss_predict: bool,
     o_state_forwarding: bool,
+    stats: CoherenceStats,
 }
 
 impl PrivateMoesi {
@@ -83,7 +85,20 @@ impl PrivateMoesi {
             dir: DuplicateTagDirectory::new(n_cores),
             ideal_miss_predict: cfg.ideal_miss_predict,
             o_state_forwarding: cfg.o_state_forwarding,
+            stats: CoherenceStats::default(),
         }
+    }
+
+    /// Coherence event counters since construction (or the last
+    /// [`PrivateMoesi::reset_stats`]).
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Zeroes the event counters without touching any protocol state
+    /// (the telemetry warmup boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
     }
 
     /// Number of cores/nodes.
@@ -160,6 +175,7 @@ impl PrivateMoesi {
     /// the home directory, then take M.
     fn upgrade(&mut self, core: usize, line: LineAddr, r: &mut AccessResult) {
         r.llc_access = true;
+        self.stats.upgrades.inc();
         let home = self.home_of(line);
         r.steps.push(Step::Net {
             from: core,
@@ -246,9 +262,13 @@ impl PrivateMoesi {
                 // O-state forwarding disabled the dirty owner instead
                 // writes back to memory and degrades to S.
                 let downgraded = match ostate {
-                    State::M | State::O if self.o_state_forwarding => State::O,
+                    State::M | State::O if self.o_state_forwarding => {
+                        self.stats.o_state_forwards.inc();
+                        State::O
+                    }
                     State::M | State::O => {
                         r.background.push(Background::MemoryWrite);
+                        self.stats.dirty_writebacks.inc();
                         State::S
                     }
                     State::E => State::S,
@@ -309,6 +329,10 @@ impl PrivateMoesi {
             Some(victim) => {
                 self.nodes[core].invalidate(victim.line);
                 self.dir.set_state(victim.line, core, State::I);
+                self.stats.directory_evictions.inc();
+                if victim.payload.is_dirty() {
+                    self.stats.dirty_writebacks.inc();
+                }
                 let vhome = self.home_of(victim.line);
                 r.background.push(Background::DirUpdate {
                     home: vhome,
@@ -336,6 +360,7 @@ impl PrivateMoesi {
     /// Invalidated dirty copies need no writeback — they are superseded by
     /// the requester's M copy.
     fn invalidate_holders(&mut self, line: LineAddr, mask: u64) {
+        self.stats.invalidations.add(u64::from(mask.count_ones()));
         for node in 0..self.nodes.len() {
             if mask & (1u64 << node) != 0 {
                 self.vaults[node].invalidate(line);
@@ -568,6 +593,24 @@ mod tests {
         );
         let r = p.access(0, MemRef::read(LineAddr::new(1)));
         assert_eq!(r.steps.first(), Some(&Step::VaultAccess { node: 0 }));
+    }
+
+    #[test]
+    fn stats_count_forwards_invalidations_and_evictions() {
+        let mut p = small();
+        let l = LineAddr::new(42);
+        p.access(0, MemRef::write(l));
+        p.access(1, MemRef::read(l)); // dirty forward, M -> O
+        assert_eq!(p.stats().o_state_forwards.get(), 1);
+        p.access(2, MemRef::write(l)); // invalidates owner 0 and sharer 1
+        assert_eq!(p.stats().invalidations.get(), 2);
+        // Vault conflict: 64 KiB direct-mapped = 1024 lines.
+        p.access(2, MemRef::read(LineAddr::new(42 + 1024)));
+        assert_eq!(p.stats().directory_evictions.get(), 1);
+        assert!(p.stats().dirty_writebacks.get() >= 1, "dirty victim");
+        p.reset_stats();
+        assert_eq!(p.stats(), crate::CoherenceStats::default());
+        p.check().unwrap();
     }
 
     #[test]

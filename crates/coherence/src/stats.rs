@@ -1,0 +1,54 @@
+//! Coherence event counters.
+//!
+//! Both protocol engines keep a [`CoherenceStats`] of the protocol
+//! events the paper's interconnect-pressure discussion cares about:
+//! invalidations, O-state dirty forwards, directory evictions, write
+//! upgrades, and dirty writebacks to memory. The counters are purely
+//! observational (resetting them never touches protocol state), so the
+//! telemetry warmup window can zero them mid-run.
+
+use silo_types::stats::Counter;
+
+/// Event counters of one protocol engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Copies invalidated at other nodes (one count per invalidated
+    /// holder, across write upgrades and write misses).
+    pub invalidations: Counter,
+    /// Dirty core-to-core forwards where the owner kept supplying via
+    /// the O state instead of writing back (MOESI only; the event the
+    /// `silo-no-forward` variant trades for memory writebacks).
+    pub o_state_forwards: Counter,
+    /// Directory entries retired by capacity evictions (vault victims in
+    /// SILO, SRAM victims under the baseline's embedded directory).
+    pub directory_evictions: Counter,
+    /// Write-upgrade transactions (S/O holder taking M through the home).
+    pub upgrades: Counter,
+    /// Dirty lines written back to main memory (capacity victims, plus
+    /// dirty forwards when O-state forwarding is disabled).
+    pub dirty_writebacks: Counter,
+}
+
+impl CoherenceStats {
+    /// Zeroes every counter (the warmup/measurement boundary).
+    pub fn reset(&mut self) {
+        *self = CoherenceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_all_counters() {
+        let mut s = CoherenceStats::default();
+        s.invalidations.add(3);
+        s.o_state_forwards.inc();
+        s.directory_evictions.inc();
+        s.upgrades.inc();
+        s.dirty_writebacks.inc();
+        s.reset();
+        assert_eq!(s, CoherenceStats::default());
+    }
+}

@@ -182,6 +182,14 @@ impl Mesh {
         self.total_hops
     }
 
+    /// Cumulative flit counters of every directed link, indexed as
+    /// `node * 4 + direction` (0=E, 1=W, 2=N, 3=S). Exposed so the
+    /// telemetry subsystem can difference consecutive snapshots into
+    /// per-epoch link utilization.
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
     /// Flits carried by the busiest link.
     pub fn max_link_flits(&self) -> u64 {
         self.link_flits.iter().copied().max().unwrap_or(0)

@@ -19,10 +19,11 @@
 
 use crate::config::{SystemConfig, VaultDesign};
 use crate::json::Json;
-use crate::registry::{run_system_on_traces, SystemSpec};
+use crate::registry::{run_system_on_traces_metered, SystemSpec};
 use crate::run::RunStats;
 use crate::workload::WorkloadSpec;
 use silo_coherence::ServedBy;
+use silo_telemetry::{MeterConfig, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -50,6 +51,9 @@ pub struct SweepSpec {
     pub workloads: Vec<WorkloadSpec>,
     /// Workload RNG seed (shared by all points).
     pub seed: u64,
+    /// Telemetry meter applied to every run: warmup window and epoch
+    /// sampling (disabled by default).
+    pub meter: MeterConfig,
 }
 
 impl SweepSpec {
@@ -110,6 +114,9 @@ pub struct SystemRun {
     pub stats: RunStats,
     /// Host wall-clock of the run, in milliseconds.
     pub wall_ms: f64,
+    /// The run's telemetry: named counters, latency histograms, and the
+    /// epoch timeline (empty under a disabled meter).
+    pub telemetry: Telemetry,
 }
 
 /// The outcome of one sweep point: every selected system's stats plus
@@ -131,11 +138,14 @@ impl BenchRecord {
             .find(|r| r.stats.system.eq_ignore_ascii_case(name))
     }
 
-    /// IPC ratio of `system` over `reference`, when both ran.
+    /// IPC ratio of `system` over `reference`, when both ran and the
+    /// ratio is meaningful (`None` for degenerate zero-IPC runs, e.g. a
+    /// warmup window that swallowed every reference).
     pub fn speedup_of(&self, system: &str, reference: &str) -> Option<f64> {
         let s = self.run(system)?;
         let r = self.run(reference)?;
-        Some(s.stats.ipc() / r.stats.ipc())
+        let ratio = s.stats.ipc() / r.stats.ipc();
+        (ratio.is_finite() && ratio > 0.0).then_some(ratio)
     }
 
     /// The paper's headline ratio: SILO IPC over baseline IPC, when both
@@ -167,10 +177,12 @@ pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
         .iter()
         .map(|sys| {
             let t = Instant::now();
-            let stats = run_system_on_traces(sys, &cfg, &point.workload.name, &traces);
+            let (stats, telemetry) =
+                run_system_on_traces_metered(sys, &cfg, &point.workload.name, &traces, &spec.meter);
             SystemRun {
                 stats,
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                telemetry,
             }
         })
         .collect();
@@ -234,13 +246,55 @@ fn served_json(s: &RunStats) -> Json {
 }
 
 fn latency_json(s: &RunStats) -> Json {
-    let p = |q| Json::Int(s.llc_latency.percentile(q) as i128);
+    // The legacy schema's percentiles are bucket upper edges; the
+    // interpolated estimates live in the telemetry object.
+    let p = |q| Json::Int(s.llc_latency.percentile_upper_edge(q) as i128);
     Json::Obj(vec![
         ("mean".into(), Json::Num(s.mean_llc_latency())),
         ("p50".into(), p(0.50)),
         ("p95".into(), p(0.95)),
         ("p99".into(), p(0.99)),
         ("max".into(), Json::Int(s.llc_latency.max() as i128)),
+    ])
+}
+
+/// One system's telemetry as a JSON object: the recorder counters
+/// verbatim, interpolated LLC latency percentiles, the timeline size,
+/// and derived interconnect-pressure figures. Additive to the schema —
+/// the legacy `silo` / `baseline` objects stay bit-identical.
+fn telemetry_json(run: &SystemRun) -> Json {
+    let t = &run.telemetry;
+    let counters = Json::Obj(
+        t.recorder
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v as i128)))
+            .collect(),
+    );
+    let latency = t
+        .recorder
+        .get_histogram("llc_latency")
+        .map_or(Json::Null, |h| {
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(h.percentile(0.50))),
+                ("p95".into(), Json::Num(h.percentile(0.95))),
+                ("p99".into(), Json::Num(h.percentile(0.99))),
+                ("max".into(), Json::Int(h.max() as i128)),
+            ])
+        });
+    Json::Obj(vec![
+        ("system".into(), Json::Str(run.stats.system.clone())),
+        ("warmup_refs".into(), Json::Int(t.meter.warmup_refs as i128)),
+        (
+            "epoch_refs".into(),
+            t.meter
+                .epoch_refs
+                .map_or(Json::Null, |e| Json::Int(e as i128)),
+        ),
+        ("epochs".into(), Json::Int(t.timeline.rows().len() as i128)),
+        ("avg_hops".into(), Json::Num(run.stats.avg_hops())),
+        ("counters".into(), counters),
+        ("llc_latency".into(), latency),
     ])
 }
 
@@ -285,6 +339,10 @@ pub fn record_json(r: &BenchRecord) -> Json {
         "systems".into(),
         Json::Arr(r.runs.iter().map(system_json).collect()),
     ));
+    fields.push((
+        "telemetry".into(),
+        Json::Arr(r.runs.iter().map(telemetry_json).collect()),
+    ));
     Json::Obj(fields)
 }
 
@@ -305,9 +363,28 @@ pub fn sweep_json(records: &[BenchRecord], seed: u64) -> Json {
                 .collect()
         })
         .unwrap_or_default();
+    // The meter is uniform across the sweep; report it once at the top
+    // (derived from the records so the schema function stays pure).
+    let meter = records
+        .first()
+        .and_then(|r| r.runs.first())
+        .map(|run| run.telemetry.meter)
+        .unwrap_or_default();
     Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("seed".into(), Json::Int(seed as i128)),
+        (
+            "telemetry".into(),
+            Json::Obj(vec![
+                ("warmup_refs".into(), Json::Int(meter.warmup_refs as i128)),
+                (
+                    "epoch_refs".into(),
+                    meter
+                        .epoch_refs
+                        .map_or(Json::Null, |e| Json::Int(e as i128)),
+                ),
+            ]),
+        ),
         ("systems".into(), Json::Arr(system_names)),
         ("geomean_speedup".into(), geomean),
         (
@@ -348,6 +425,7 @@ mod tests {
                 ..WorkloadSpec::uniform_private()
             }],
             seed: 5,
+            meter: MeterConfig::default(),
         }
     }
 
@@ -433,5 +511,45 @@ mod tests {
             .and_then(Json::as_arr)
             .expect("per-point systems array");
         assert_eq!(listed.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_json_is_additive_to_the_legacy_point_schema() {
+        let mut spec = tiny_spec();
+        spec.scales = vec![64];
+        spec.meter = MeterConfig {
+            warmup_refs: 100,
+            epoch_refs: Some(200),
+        };
+        let records = run_sweep_sequential(&spec);
+        let doc = sweep_json(&records, spec.seed);
+        // Top-level meter echo.
+        let top = doc.get("telemetry").expect("top-level telemetry");
+        assert_eq!(top.get("warmup_refs").and_then(Json::as_u64), Some(100));
+        assert_eq!(top.get("epoch_refs").and_then(Json::as_u64), Some(200));
+        // Per-point telemetry rows, one per system, with counters.
+        let point = &doc.get("points").and_then(Json::as_arr).expect("points")[0];
+        let tel = point
+            .get("telemetry")
+            .and_then(Json::as_arr)
+            .expect("telemetry array");
+        assert_eq!(tel.len(), 2);
+        assert_eq!(tel[0].get("system").and_then(Json::as_str), Some("SILO"));
+        let counters = tel[0].get("counters").expect("counters object");
+        assert!(counters
+            .get("invalidations")
+            .and_then(Json::as_u64)
+            .is_some());
+        assert!(counters
+            .get("mesh_total_hops")
+            .and_then(Json::as_u64)
+            .is_some());
+        // Epoch count matches ceil(total refs / epoch_refs): 2 cores x
+        // 500 refs at 200/epoch = 5 epochs.
+        assert_eq!(tel[0].get("epochs").and_then(Json::as_u64), Some(5));
+        // The legacy per-system object is untouched by telemetry keys.
+        let silo = point.get("silo").expect("legacy silo object");
+        assert!(silo.get("telemetry").is_none());
+        assert!(silo.get("ipc").is_some());
     }
 }

@@ -14,6 +14,7 @@ use crate::error::ConfigError;
 use crate::registry::{SystemRegistry, SystemSpec};
 use crate::scenario::Scenario;
 use crate::workload::WorkloadSpec;
+use silo_telemetry::MeterConfig;
 
 /// A fully validated, runnable comparison: N systems × workloads ×
 /// sweep axes. Construct through [`Simulation::builder`].
@@ -77,6 +78,8 @@ pub struct SimulationBuilder {
     seed: u64,
     refs: Option<usize>,
     threads: Option<usize>,
+    warmup: Option<u64>,
+    epoch: Option<u64>,
 }
 
 impl Default for SimulationBuilder {
@@ -94,6 +97,8 @@ impl Default for SimulationBuilder {
             seed: 42,
             refs: None,
             threads: None,
+            warmup: None,
+            epoch: None,
         }
     }
 }
@@ -198,6 +203,23 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the warmup window: references (summed across cores) after
+    /// which every run resets its measurement counters while preserving
+    /// cache, directory, and bank-timing state. Zero (the default)
+    /// disables warmup.
+    pub fn warmup_refs(mut self, refs: u64) -> Self {
+        self.warmup = Some(refs);
+        self
+    }
+
+    /// Enables epoch sampling: every `refs` references each run records
+    /// a timeline epoch (IPC, served-by-level counts, LLC latency
+    /// percentiles, mesh link utilization, vault occupancy).
+    pub fn epoch_refs(mut self, refs: u64) -> Self {
+        self.epoch = Some(refs);
+        self
+    }
+
     /// Merges a parsed [`Scenario`] into the builder: every field the
     /// scenario sets replaces the builder's current value, so apply the
     /// scenario first and explicit overrides after.
@@ -228,6 +250,12 @@ impl SimulationBuilder {
         }
         if let Some(v) = s.threads {
             self.threads = Some(v);
+        }
+        if let Some(v) = s.warmup {
+            self.warmup = Some(v);
+        }
+        if let Some(v) = s.epoch {
+            self.epoch = Some(v);
         }
         self
     }
@@ -282,6 +310,13 @@ impl SimulationBuilder {
                 });
             }
         }
+        if self.epoch == Some(0) {
+            return Err(ConfigError::BadValue {
+                what: "epoch".into(),
+                value: "0".into(),
+                reason: "must be at least 1 reference per epoch".into(),
+            });
+        }
         self.config.validate()?;
         Ok(Simulation {
             spec: SweepSpec {
@@ -293,6 +328,10 @@ impl SimulationBuilder {
                 vaults,
                 workloads,
                 seed: self.seed,
+                meter: MeterConfig {
+                    warmup_refs: self.warmup.unwrap_or(0),
+                    epoch_refs: self.epoch,
+                },
             },
             threads: self.threads,
         })
@@ -505,6 +544,23 @@ mod tests {
         assert_eq!(w[0].refs_per_core, 4_000, "preset takes the default");
         assert_eq!(w[1].refs_per_core, 100, "explicit refs= wins");
         assert_eq!(w[2].refs_per_core, 77, "direct specs keep their count");
+    }
+
+    #[test]
+    fn meter_settings_reach_the_spec_and_validate() {
+        let sim = Simulation::builder()
+            .warmup_refs(500)
+            .epoch_refs(250)
+            .build()
+            .expect("valid");
+        assert_eq!(sim.spec().meter.warmup_refs, 500);
+        assert_eq!(sim.spec().meter.epoch_refs, Some(250));
+
+        let off = Simulation::builder().build().expect("valid");
+        assert!(off.spec().meter.is_disabled());
+
+        let bad = Simulation::builder().epoch_refs(0).build();
+        assert!(matches!(bad, Err(ConfigError::BadValue { .. })));
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! mlp × vault design) out across OS threads and emits machine-readable
 //! `silo-bench/v1` JSON through the dependency-free [`json`] module.
 //!
+//! Measurement runs through the `silo-telemetry` subsystem: a
+//! [`MeterConfig`] (`--warmup` / `--epoch`, scenario `warmup =` /
+//! `epoch =`) adds a warmup window that resets measurement counters
+//! while preserving simulated state, plus an epoch-sampled timeline
+//! (IPC, served-by-level counts, LLC latency percentiles, mesh link
+//! utilization, vault occupancy) exported as CSV by the [`mod@timeline`]
+//! module and as an additive `telemetry` object in the JSON.
+//!
 //! # Library example
 //!
 //! ```
@@ -57,6 +65,7 @@ pub mod registry;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod timeline;
 pub mod timing;
 pub mod workload;
 
@@ -65,9 +74,14 @@ pub use builder::{Simulation, SimulationBuilder};
 pub use config::{SystemConfig, VaultDesign};
 pub use error::ConfigError;
 pub use json::Json;
-pub use registry::{run_system, run_system_on_traces, SystemInstance, SystemRegistry, SystemSpec};
+pub use registry::{
+    run_system, run_system_on_traces, run_system_on_traces_metered, SystemInstance, SystemRegistry,
+    SystemSpec,
+};
 pub use report::{name_widths, print_report, render_report, render_row};
-pub use run::{run, run_baseline, run_silo, Protocol, RunStats, ServedCounts};
+pub use run::{run, run_baseline, run_metered, run_silo, Protocol, RunStats, ServedCounts};
 pub use scenario::Scenario;
+pub use silo_telemetry::{MeterConfig, Telemetry};
+pub use timeline::{timeline_csv, write_timeline_csv, TIMELINE_HEADER};
 pub use timing::TimingModel;
 pub use workload::{Rng, WorkloadSpec};

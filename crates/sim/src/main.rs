@@ -20,7 +20,8 @@ USAGE:
 OPTIONS:
     --scenario FILE      load a declarative scenario file (key = value:
                          systems, workloads, cores, scale, mlp, vault,
-                         seed, refs, threads); flags override it
+                         seed, refs, threads, warmup, epoch); flags
+                         override it
     --systems a,b,c      systems to compare (default SILO,baseline;
                          see --list-systems)
     --cores N            cores / mesh nodes (default 16, max 64)
@@ -35,6 +36,14 @@ OPTIONS:
                          'latency' (256 MiB-class), 'capacity'
                          (512 MiB-class), or 'table2' (the Table II
                          constants, default)
+    --warmup N           telemetry: treat the first N references (summed
+                         across cores) as cache warmup — measurement
+                         counters reset, simulated state is kept (0 = off)
+    --epoch N            telemetry: record a timeline epoch every N
+                         references (IPC, served levels, LLC latency
+                         percentiles, link utilization, vault occupancy)
+    --timeline PATH      write the per-epoch timeline CSV (needs --epoch
+                         or a scenario 'epoch =' key)
     --list-systems       list registered systems and exit
     --list-workloads     list workload presets and the custom-spec
                          grammar, then exit (alias: --list)
@@ -73,6 +82,9 @@ struct Cli {
     sweep_vaults: Option<Vec<String>>,
     threads: Option<usize>,
     json: Option<PathBuf>,
+    warmup: Option<u64>,
+    epoch: Option<u64>,
+    timeline: Option<PathBuf>,
 }
 
 fn bad(what: &str, value: impl Into<String>, reason: impl Into<String>) -> ConfigError {
@@ -163,6 +175,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
                 let p: String = parse_value("--json", args.next())?;
                 cli.json = Some(PathBuf::from(p));
             }
+            "--warmup" => cli.warmup = Some(parse_value("--warmup", args.next())?),
+            "--epoch" => cli.epoch = Some(parse_value("--epoch", args.next())?),
+            "--timeline" => {
+                let p: String = parse_value("--timeline", args.next())?;
+                cli.timeline = Some(PathBuf::from(p));
+            }
             "--list-systems" => {
                 list_systems();
                 return Ok(None);
@@ -251,7 +269,25 @@ fn build_simulation(cli: &Cli) -> Result<Simulation, ConfigError> {
     if let Some(threads) = cli.threads {
         b = b.threads(threads);
     }
-    b.build()
+    if let Some(warmup) = cli.warmup {
+        b = b.warmup_refs(warmup);
+    }
+    if let Some(epoch) = cli.epoch {
+        b = b.epoch_refs(epoch);
+    }
+    let sim = b.build()?;
+    if cli.timeline.is_some() && sim.spec().meter.epoch_refs.is_none() {
+        return Err(ConfigError::BadValue {
+            what: "--timeline".into(),
+            value: cli
+                .timeline
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default(),
+            reason: "needs --epoch (or a scenario 'epoch =' key) to sample epochs".into(),
+        });
+    }
+    Ok(sim)
 }
 
 fn main() {
@@ -290,6 +326,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {} points to {}", records.len(), path.display());
+    }
+    if let Some(path) = &cli.timeline {
+        match silo_sim::write_timeline_csv(path, &records) {
+            Ok(rows) => println!("wrote {rows} timeline rows to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 

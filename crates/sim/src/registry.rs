@@ -17,9 +17,10 @@
 //! * `baseline-2x` — the baseline with doubled aggregate LLC capacity.
 
 use crate::config::SystemConfig;
-use crate::run::{baseline_engine, run, silo_engine, Protocol, RunStats};
+use crate::run::{baseline_engine, run_metered, silo_engine, Protocol, RunStats};
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
+use silo_telemetry::{MeterConfig, Telemetry};
 use silo_types::ByteSize;
 use std::fmt;
 use std::sync::Arc;
@@ -202,16 +203,30 @@ pub fn run_system_on_traces(
     workload_name: &str,
     traces: &[Vec<silo_types::MemRef>],
 ) -> RunStats {
+    run_system_on_traces_metered(sys, cfg, workload_name, traces, &MeterConfig::default()).0
+}
+
+/// [`run_system_on_traces`] with the telemetry meter attached: the
+/// sweep-harness entry point behind `--warmup` / `--epoch`. With the
+/// default meter the stats are bit-identical to the unmetered path.
+pub fn run_system_on_traces_metered(
+    sys: &SystemSpec,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    traces: &[Vec<silo_types::MemRef>],
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry) {
     let mut inst = sys.instantiate(cfg);
-    let mut stats = run(
+    let (mut stats, telemetry) = run_metered(
         &mut *inst.engine,
         &mut inst.timing,
         cfg,
         workload_name,
         traces,
+        meter,
     );
     stats.system = sys.name().to_string();
-    stats
+    (stats, telemetry)
 }
 
 #[cfg(test)]

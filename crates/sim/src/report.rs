@@ -1,7 +1,9 @@
 //! Fig. 11-style result tables, generalized to N-way comparisons.
 //!
 //! For every workload the report shows, per system, the throughput
-//! (IPC), where accesses were served, and the mean LLC-access latency;
+//! (IPC), where accesses were served, the mean LLC-access latency, and
+//! the interconnect pressure (mean hops per mesh message plus the
+//! hottest link's flit count — the Sec. V-D discussion);
 //! the closing tables give each system's performance normalized to the
 //! reference system (the one named `baseline` when selected, else the
 //! last system) with the geomean across workloads — for the classic
@@ -41,7 +43,7 @@ pub fn name_widths(records: &[BenchRecord]) -> (usize, usize) {
 /// [`RunStats`] accessors.
 pub fn render_row(s: &RunStats, workload_w: usize, system_w: usize) -> String {
     format!(
-        "{:<workload_w$} {:>system_w$} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9}",
+        "{:<workload_w$} {:>system_w$} {:>6.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>8.1} {:>9} {:>5.2} {:>8}",
         s.workload,
         s.system,
         s.ipc(),
@@ -52,6 +54,8 @@ pub fn render_row(s: &RunStats, workload_w: usize, system_w: usize) -> String {
         100.0 * s.served.fraction(ServedBy::Memory),
         s.mean_llc_latency(),
         s.llc_accesses,
+        s.avg_hops(),
+        s.mesh_max_link_flits,
     )
 }
 
@@ -75,8 +79,19 @@ pub fn render_report(records: &[BenchRecord]) -> (String, f64) {
     let mut out = String::new();
     let (wl_w, sys_w) = name_widths(records);
     let header = format!(
-        "{:<wl_w$} {:>sys_w$} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9}",
-        "workload", "system", "IPC", "L1", "vault", "remote", "LLC", "mem", "LLC-lat", "LLC-acc"
+        "{:<wl_w$} {:>sys_w$} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>5} {:>8}",
+        "workload",
+        "system",
+        "IPC",
+        "L1",
+        "vault",
+        "remote",
+        "LLC",
+        "mem",
+        "LLC-lat",
+        "LLC-acc",
+        "hops",
+        "hot-link"
     );
     // The divider tracks the rendered header, so column changes never
     // leave it too short or too long again.
@@ -106,6 +121,12 @@ pub fn render_report(records: &[BenchRecord]) -> (String, f64) {
                 let _ = writeln!(out, "  {:<wl_w$} {:>5.2}x", r.point.workload.name, sp);
                 speedups.push(sp);
             }
+        }
+        if speedups.is_empty() {
+            // Degenerate runs (e.g. warmup >= total refs) have no
+            // measurable ratios; say so instead of panicking in geomean.
+            let _ = writeln!(out, "  {:<wl_w$} {:>6}", "geomean", "n/a");
+            continue;
         }
         let g = geomean(&speedups);
         let _ = writeln!(out, "  {:<wl_w$} {:>5.2}x", "geomean", g);
@@ -157,6 +178,21 @@ mod tests {
         let recs = records(&["SILO", "silo-no-forward"]);
         let (text, _) = render_report(&recs);
         assert!(text.contains("normalized performance (SILO / silo-no-forward):"));
+    }
+
+    #[test]
+    fn report_surfaces_noc_pressure_columns() {
+        let recs = records(&["SILO", "baseline"]);
+        let (text, _) = render_report(&recs);
+        let header = text.lines().next().expect("header");
+        assert!(header.contains("hops") && header.contains("hot-link"));
+        for r in &recs {
+            for run in &r.runs {
+                assert!(run.stats.mesh_messages > 0, "mesh saw traffic");
+                assert!(run.stats.avg_hops() > 0.0, "hops are accounted");
+                assert!(run.stats.mesh_max_link_flits > 0, "a link was used");
+            }
+        }
     }
 
     #[test]

@@ -6,13 +6,22 @@
 //! SRAM hits are absorbed by the pipeline, and misses overlap up to the
 //! MSHR limit unless the reference is `dependent` on the previous miss
 //! (pointer chasing), which serialises.
+//!
+//! [`run_metered`] additionally drives the telemetry subsystem: a
+//! [`MeterConfig`] warmup window resets the measurement aggregates
+//! mid-run (cache, directory, and bank-timing state are preserved) and
+//! an epoch [`silo_telemetry::Timeline`] samples IPC,
+//! served-by-level counts, LLC latency percentiles, mesh link
+//! utilization, and vault occupancy every `epoch_refs` references.
 
 use crate::config::SystemConfig;
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
 use silo_coherence::{
-    AccessResult, PrivateMoesi, PrivateMoesiConfig, ServedBy, SharedMesi, SharedMesiConfig,
+    AccessResult, CoherenceStats, PrivateMoesi, PrivateMoesiConfig, ServedBy, SharedMesi,
+    SharedMesiConfig,
 };
+use silo_telemetry::{EpochEnv, MeterConfig, Recorder, ServiceLevel, Telemetry, Timeline};
 use silo_types::stats::{ratio, Counter, Histogram};
 use silo_types::{Cycles, MemRef};
 
@@ -23,6 +32,11 @@ pub trait Protocol {
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult;
     /// Display name of the system.
     fn system_name(&self) -> &str;
+    /// The engine's coherence event counters.
+    fn coherence_stats(&self) -> CoherenceStats;
+    /// Zeroes the coherence event counters without touching protocol
+    /// state (the warmup/measurement boundary).
+    fn reset_coherence_stats(&mut self);
 }
 
 impl Protocol for PrivateMoesi {
@@ -32,6 +46,12 @@ impl Protocol for PrivateMoesi {
     fn system_name(&self) -> &str {
         "SILO"
     }
+    fn coherence_stats(&self) -> CoherenceStats {
+        self.stats()
+    }
+    fn reset_coherence_stats(&mut self) {
+        self.reset_stats();
+    }
 }
 
 impl Protocol for SharedMesi {
@@ -40,6 +60,24 @@ impl Protocol for SharedMesi {
     }
     fn system_name(&self) -> &str {
         "baseline"
+    }
+    fn coherence_stats(&self) -> CoherenceStats {
+        self.stats()
+    }
+    fn reset_coherence_stats(&mut self) {
+        self.reset_stats();
+    }
+}
+
+/// The telemetry-side service-level tag of a coherence classification.
+fn service_level(s: ServedBy) -> ServiceLevel {
+    match s {
+        ServedBy::L1 => ServiceLevel::L1,
+        ServedBy::L2 => ServiceLevel::L2,
+        ServedBy::LocalVault => ServiceLevel::LocalVault,
+        ServedBy::RemoteVault => ServiceLevel::RemoteVault,
+        ServedBy::SharedLlc => ServiceLevel::SharedLlc,
+        ServedBy::Memory => ServiceLevel::Memory,
     }
 }
 
@@ -148,6 +186,10 @@ pub struct RunStats {
     pub llc_latency: Histogram,
     /// Mesh messages sent.
     pub mesh_messages: u64,
+    /// Total hops traversed by those messages.
+    pub mesh_total_hops: u64,
+    /// Flits carried by the busiest mesh link.
+    pub mesh_max_link_flits: u64,
 }
 
 impl RunStats {
@@ -159,6 +201,11 @@ impl RunStats {
     /// Mean critical-path latency of an LLC access, in cycles.
     pub fn mean_llc_latency(&self) -> f64 {
         self.llc_latency.mean()
+    }
+
+    /// Mean hops per mesh message (interconnect pressure, Sec. V-D).
+    pub fn avg_hops(&self) -> f64 {
+        ratio(self.mesh_total_hops, self.mesh_messages)
     }
 }
 
@@ -177,8 +224,50 @@ struct CoreState {
     instructions: u64,
 }
 
+/// The slowest core's current position: the makespan so far.
+fn makespan(cores: &[CoreState]) -> Cycles {
+    cores
+        .iter()
+        .map(|c| c.finish.max(c.cursor))
+        .max()
+        .unwrap_or(Cycles::ZERO)
+}
+
+/// Cumulative counter values at the warmup boundary; the measurement
+/// window reports everything as a delta against these (shared timing
+/// resources cannot simply be reset — that would discard bank
+/// reservations and change the simulation).
+#[derive(Clone, Debug, Default)]
+struct MeasureBase {
+    instructions: u64,
+    cycles: u64,
+    mesh_messages: u64,
+    mesh_hops: u64,
+    link_flits: Vec<u64>,
+    vault_busy: u64,
+    memory_accesses: u64,
+}
+
+/// The cumulative environment snapshot handed to the timeline at an
+/// epoch boundary.
+fn epoch_env<'a>(
+    cores: &[CoreState],
+    timing: &'a TimingModel,
+    meter: &MeterConfig,
+) -> EpochEnv<'a> {
+    EpochEnv {
+        cycles: makespan(cores).as_u64(),
+        mesh_messages: timing.mesh().messages(),
+        link_flits: timing.mesh().link_flits(),
+        vault_busy_cycles: timing.vault_busy_cycles(),
+        vault_banks: timing.vault_banks_total(),
+        warmup_refs: meter.warmup_refs,
+    }
+}
+
 /// Drives `engine` over per-core traces, interleaving cores round-robin,
 /// and prices every access with `timing`. Returns aggregate statistics.
+/// Equivalent to [`run_metered`] with a disabled meter.
 ///
 /// # Panics
 ///
@@ -190,83 +279,198 @@ pub fn run<P: Protocol + ?Sized>(
     workload_name: &str,
     traces: &[Vec<MemRef>],
 ) -> RunStats {
+    run_metered(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        traces,
+        &MeterConfig::default(),
+    )
+    .0
+}
+
+/// [`run`] with the telemetry subsystem attached: after
+/// `meter.warmup_refs` processed references the measurement aggregates
+/// reset (simulated state is untouched), and every `meter.epoch_refs`
+/// references the timeline records an epoch sample. With the default
+/// meter the returned [`RunStats`] are bit-identical to [`run`].
+///
+/// # Panics
+///
+/// Panics if `traces.len()` differs from the configured core count.
+pub fn run_metered<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    traces: &[Vec<MemRef>],
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry) {
     assert_eq!(traces.len(), cfg.cores, "one trace per core");
     let refs = traces.iter().map(Vec::len).max().unwrap_or(0);
     let mut cores: Vec<CoreState> = vec![CoreState::default(); cfg.cores];
     let mut served = ServedCounts::default();
     let mut llc_accesses = 0u64;
     let mut llc_latency = Histogram::new(16, 64);
+    let mut llc_log = Histogram::log2();
+    let mut timeline = Timeline::new(meter.epoch_refs.unwrap_or(0));
+    let mut base = MeasureBase::default();
+    let mut processed = 0u64;
+    let mut warmup_pending = meter.warmup_refs > 0;
+
+    // End of warmup: zero the measurement aggregates and take counter
+    // baselines for the shared resources, but leave caches, directories,
+    // and bank reservations as they are.
+    macro_rules! end_warmup {
+        () => {{
+            served = ServedCounts::default();
+            llc_accesses = 0;
+            llc_latency.reset();
+            llc_log.reset();
+            engine.reset_coherence_stats();
+            base = MeasureBase {
+                instructions: cores.iter().map(|c| c.instructions).sum(),
+                cycles: makespan(&cores).as_u64(),
+                mesh_messages: timing.mesh().messages(),
+                mesh_hops: timing.mesh().total_hops(),
+                link_flits: timing.mesh().link_flits().to_vec(),
+                vault_busy: timing.vault_busy_cycles(),
+                memory_accesses: timing.memory_accesses(),
+            };
+        }};
+    }
 
     for i in 0..refs {
         for (c, trace) in traces.iter().enumerate() {
             let Some(&mr) = trace.get(i) else { continue };
-            let core = &mut cores[c];
             // The reference instruction itself retires too: charge
             // `gap + 1` cycles to match the `gap + 1` instructions, or a
             // hit-only trace would report IPC above the base-CPI-1 ceiling.
-            core.instructions += mr.gap_instructions as u64 + 1;
-            core.cursor += Cycles(mr.gap_instructions as u64 + 1);
+            let instructions = mr.gap_instructions as u64 + 1;
+            let mut latency = None;
+            let level;
+            {
+                let core = &mut cores[c];
+                core.instructions += instructions;
+                core.cursor += Cycles(instructions);
 
-            let res = engine.access(c, mr);
-            served.record(res.served_by());
-            if !res.llc_access {
-                // SRAM hit: absorbed by the pipeline at base CPI.
-                core.finish = core.finish.max(core.cursor);
-                continue;
+                let res = engine.access(c, mr);
+                served.record(res.served_by());
+                level = service_level(res.served_by());
+                if !res.llc_access {
+                    // SRAM hit: absorbed by the pipeline at base CPI.
+                    core.finish = core.finish.max(core.cursor);
+                } else {
+                    llc_accesses += 1;
+
+                    // Issue time: dependent misses wait for the previous
+                    // miss; independent ones only wait for a free MSHR.
+                    let mut issue = if mr.dependent {
+                        core.cursor.max(core.last_miss)
+                    } else {
+                        core.cursor
+                    };
+                    // Retire misses that completed by the issue point; if
+                    // every MSHR is still busy, stall until the
+                    // earliest-completing one frees up (not the
+                    // oldest-issued: a slow memory access must not pin
+                    // MSHRs that vault hits have already vacated).
+                    core.outstanding.retain(|&d| d > issue);
+                    while core.outstanding.len() >= cfg.mlp {
+                        let (idx, earliest) = core
+                            .outstanding
+                            .iter()
+                            .copied()
+                            .enumerate()
+                            .min_by_key(|&(_, d)| d)
+                            .expect("mlp > 0, so nonempty");
+                        issue = issue.max(earliest);
+                        core.outstanding.swap_remove(idx);
+                    }
+
+                    let done = timing.charge(issue, &res);
+                    let lat = (done - issue).as_u64();
+                    llc_latency.record(lat);
+                    llc_log.record(lat);
+                    latency = Some(lat);
+                    core.outstanding.push(done);
+                    core.last_miss = done;
+                    core.finish = core.finish.max(done);
+                    if mr.dependent {
+                        // The pipeline stalls behind a serialised miss.
+                        core.cursor = core.cursor.max(done);
+                    }
+                }
             }
-            llc_accesses += 1;
 
-            // Issue time: dependent misses wait for the previous miss;
-            // independent ones only wait for a free MSHR.
-            let mut issue = if mr.dependent {
-                core.cursor.max(core.last_miss)
-            } else {
-                core.cursor
-            };
-            // Retire misses that completed by the issue point; if every
-            // MSHR is still busy, stall until the earliest-completing
-            // one frees up (not the oldest-issued: a slow memory access
-            // must not pin MSHRs that vault hits have already vacated).
-            core.outstanding.retain(|&d| d > issue);
-            while core.outstanding.len() >= cfg.mlp {
-                let (idx, earliest) = core
-                    .outstanding
-                    .iter()
-                    .copied()
-                    .enumerate()
-                    .min_by_key(|&(_, d)| d)
-                    .expect("mlp > 0, so nonempty");
-                issue = issue.max(earliest);
-                core.outstanding.swap_remove(idx);
+            processed += 1;
+            timeline.record_ref(level, instructions, latency);
+            if timeline.epoch_full() {
+                timeline.flush(&epoch_env(&cores, timing, meter));
             }
-
-            let done = timing.charge(issue, &res);
-            llc_latency.record((done - issue).as_u64());
-            core.outstanding.push(done);
-            core.last_miss = done;
-            core.finish = core.finish.max(done);
-            if mr.dependent {
-                // The pipeline stalls behind a serialised miss.
-                core.cursor = core.cursor.max(done);
+            if warmup_pending && processed >= meter.warmup_refs {
+                warmup_pending = false;
+                end_warmup!();
             }
         }
     }
+    if warmup_pending {
+        // The warmup window swallowed the whole trace: still perform the
+        // reset so the measurement window is consistently empty instead
+        // of silently reporting cold-start full-run numbers.
+        end_warmup!();
+    }
+    timeline.finish(&epoch_env(&cores, timing, meter));
 
-    let cycles = cores
+    let mesh = timing.mesh();
+    let mesh_messages = mesh.messages() - base.mesh_messages;
+    let mesh_total_hops = mesh.total_hops() - base.mesh_hops;
+    let mesh_max_link_flits = mesh
+        .link_flits()
         .iter()
-        .map(|c| c.finish.max(c.cursor))
+        .enumerate()
+        .map(|(l, &f)| f - base.link_flits.get(l).copied().unwrap_or(0))
         .max()
-        .unwrap_or(Cycles::ZERO);
-    RunStats {
+        .unwrap_or(0);
+    let stats = RunStats {
         system: engine.system_name().to_string(),
         workload: workload_name.to_string(),
-        instructions: cores.iter().map(|c| c.instructions).sum(),
-        cycles,
+        instructions: cores.iter().map(|c| c.instructions).sum::<u64>() - base.instructions,
+        cycles: Cycles(makespan(&cores).as_u64() - base.cycles),
         served,
         llc_accesses,
         llc_latency,
-        mesh_messages: timing.mesh().messages(),
-    }
+        mesh_messages,
+        mesh_total_hops,
+        mesh_max_link_flits,
+    };
+
+    let cs = engine.coherence_stats();
+    let mut recorder = Recorder::new();
+    recorder.set("invalidations", cs.invalidations.get());
+    recorder.set("o_state_forwards", cs.o_state_forwards.get());
+    recorder.set("directory_evictions", cs.directory_evictions.get());
+    recorder.set("upgrades", cs.upgrades.get());
+    recorder.set("dirty_writebacks", cs.dirty_writebacks.get());
+    recorder.set("mesh_messages", mesh_messages);
+    recorder.set("mesh_total_hops", mesh_total_hops);
+    recorder.set("mesh_max_link_flits", mesh_max_link_flits);
+    recorder.set(
+        "memory_accesses",
+        timing.memory_accesses() - base.memory_accesses,
+    );
+    recorder.set(
+        "vault_busy_cycles",
+        timing.vault_busy_cycles() - base.vault_busy,
+    );
+    *recorder.histogram("llc_latency") = llc_log;
+    let telemetry = Telemetry {
+        meter: *meter,
+        recorder,
+        timeline,
+    };
+    (stats, telemetry)
 }
 
 /// Builds and runs the SILO system over a workload (the concrete-type

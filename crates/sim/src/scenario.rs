@@ -18,6 +18,8 @@
 //! seed      = 42
 //! refs      = 4000        # per-core reference-count override
 //! threads   = 4
+//! warmup    = 6400        # telemetry: refs of cache warmup (0 = off)
+//! epoch     = 16000       # telemetry: refs per timeline epoch
 //! ```
 //!
 //! Workload lists use the same grammar as `--workloads`
@@ -52,6 +54,10 @@ pub struct Scenario {
     pub refs: Option<usize>,
     /// Worker threads.
     pub threads: Option<usize>,
+    /// Telemetry warmup window in references (0 disables it).
+    pub warmup: Option<u64>,
+    /// Telemetry epoch length in references.
+    pub epoch: Option<u64>,
 }
 
 fn err(line: usize, message: impl Into<String>) -> ConfigError {
@@ -186,6 +192,14 @@ impl Scenario {
                     dup(s.threads.is_some())?;
                     s.threads = Some(parse_scalar(n, "threads", value)?);
                 }
+                "warmup" => {
+                    dup(s.warmup.is_some())?;
+                    s.warmup = Some(parse_scalar(n, "warmup", value)?);
+                }
+                "epoch" => {
+                    dup(s.epoch.is_some())?;
+                    s.epoch = Some(parse_scalar(n, "epoch", value)?);
+                }
                 other => return Err(err(n, format!("unknown key '{other}'"))),
             }
         }
@@ -227,7 +241,9 @@ mod tests {
              vault = table2\n\
              seed = 42\n\
              refs = 4000\n\
-             threads = 2\n",
+             threads = 2\n\
+             warmup = 800\n\
+             epoch = 1000\n",
         )
         .expect("valid scenario");
         assert_eq!(
@@ -249,6 +265,8 @@ mod tests {
         assert_eq!(s.seed, Some(42));
         assert_eq!(s.refs, Some(4000));
         assert_eq!(s.threads, Some(2));
+        assert_eq!(s.warmup, Some(800));
+        assert_eq!(s.epoch, Some(1000));
     }
 
     #[test]
@@ -268,6 +286,8 @@ mod tests {
             ("workloads = footprint=4x", "must follow"),
             ("workloads = zipf:theta=skewed", "not a number"),
             ("workload = zipf:bogus=1", "unknown parameter"),
+            ("warmup = soon", "bad warmup value"),
+            ("epoch = -5", "bad epoch value"),
             ("cores = ,", "at least one value"),
             ("systems = ,", "at least one value"),
             ("vault = ,", "at least one value"),

@@ -81,6 +81,12 @@ impl TimingModel {
         self.vaults.iter().map(BankArray::total_busy_cycles).sum()
     }
 
+    /// Total vault banks across all nodes (zero for the baseline), the
+    /// denominator of the telemetry occupancy metric.
+    pub fn vault_banks_total(&self) -> u64 {
+        self.vaults.iter().map(|v| v.len() as u64).sum()
+    }
+
     /// Total accesses to main memory banks.
     pub fn memory_accesses(&self) -> u64 {
         self.memory.total_accesses()

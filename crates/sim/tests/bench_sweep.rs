@@ -4,7 +4,7 @@
 //! `silo`/`baseline` point objects and the N-way `systems` array).
 
 use silo_sim::bench::{run_sweep, run_sweep_sequential, sweep_json, SweepSpec, SCHEMA};
-use silo_sim::{Json, SystemConfig, SystemRegistry, VaultDesign, WorkloadSpec};
+use silo_sim::{Json, MeterConfig, SystemConfig, SystemRegistry, VaultDesign, WorkloadSpec};
 
 fn sweep_spec() -> SweepSpec {
     let shrink = |w: WorkloadSpec| WorkloadSpec {
@@ -23,6 +23,7 @@ fn sweep_spec() -> SweepSpec {
             shrink(WorkloadSpec::producer_consumer()),
         ],
         seed: 7,
+        meter: MeterConfig::default(),
     }
 }
 
@@ -187,6 +188,7 @@ fn hit_only_ipc_stays_at_or_below_one_through_the_harness() {
             ..WorkloadSpec::uniform_private()
         }],
         seed: 3,
+        meter: MeterConfig::default(),
     };
     for r in run_sweep(&spec, 2) {
         for run in &r.runs {

@@ -200,13 +200,16 @@ fn example_scenario_file_parses_builds_and_runs() {
         scenario.systems.as_ref().expect("systems set").len() >= 3,
         "the example must be a >=3-way comparison"
     );
-    // Shrink the run so the test stays fast; the CI workflow runs the
-    // file as-is through the CLI.
+    assert!(scenario.warmup.is_some() && scenario.epoch.is_some());
+    // Shrink the run so the test stays fast (scaling the warmup window
+    // with it); the CI workflow runs the file as-is through the CLI.
     let records = Simulation::builder()
         .scenario(&scenario)
         .refs_per_core(300)
         .cores([2])
         .threads(2)
+        .warmup_refs(60)
+        .epoch_refs(200)
         .build()
         .expect("example scenario builds")
         .run();
@@ -214,5 +217,8 @@ fn example_scenario_file_parses_builds_and_runs() {
     for r in &records {
         assert!(r.runs.len() >= 3);
         assert!(r.speedup().expect("SILO and baseline present") > 0.0);
+        for run in &r.runs {
+            assert_eq!(run.telemetry.timeline.total_refs(), 600);
+        }
     }
 }

@@ -1,0 +1,91 @@
+//! `silo-telemetry`: the measurement backbone of the SILO workspace.
+//!
+//! The timing simulator historically emitted only end-of-run aggregates;
+//! this crate adds the three measurement primitives every evaluation
+//! figure in the paper is built on:
+//!
+//! * [`Recorder`] — a bag of named counters and log-bucketed
+//!   [`Histogram`](silo_types::stats::Histogram)s, filled by the run
+//!   loop from the protocol engines, the mesh, and the DRAM structures,
+//!   and exported verbatim into the `silo-bench/v1` `telemetry` object.
+//! * [`Timeline`] — an epoch-sampling time series: every `epoch_refs`
+//!   processed references it snapshots per-epoch IPC, served-by-level
+//!   counts, LLC latency percentiles, mesh link utilization, and vault
+//!   occupancy into an [`EpochRow`], rendered to CSV by
+//!   `silo-sim`'s `timeline` module.
+//! * [`MeterConfig`] — the warmup/measurement-window control: after
+//!   `warmup_refs` references the run loop resets its measurement
+//!   counters (while preserving all cache, directory, and bank-timing
+//!   state), so steady-state numbers are not polluted by cold misses.
+//!
+//! The crate depends only on `silo-types`, so every layer of the
+//! workspace (coherence, noc, dram, sim) can feed it without cycles.
+
+pub mod recorder;
+pub mod timeline;
+
+pub use recorder::Recorder;
+pub use timeline::{EpochEnv, EpochRow, ServiceLevel, Timeline};
+
+/// Measurement-window configuration shared by the run loop, the sweep
+/// harness, and the CLI (`--warmup` / `--epoch`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MeterConfig {
+    /// References (summed across cores, in interleaved processing order)
+    /// to treat as cache warmup: when the counter is reached, measurement
+    /// aggregates reset while all simulated state is preserved. Zero
+    /// disables the warmup window.
+    pub warmup_refs: u64,
+    /// References per timeline epoch; `None` disables epoch sampling.
+    pub epoch_refs: Option<u64>,
+}
+
+impl MeterConfig {
+    /// True when neither warmup nor epoch sampling is enabled — the
+    /// legacy end-of-run-aggregates behaviour.
+    pub fn is_disabled(&self) -> bool {
+        self.warmup_refs == 0 && self.epoch_refs.is_none()
+    }
+}
+
+/// Everything one run measured beyond its headline aggregates: the named
+/// counters/histograms and the epoch time series, stamped with the meter
+/// configuration that produced them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Telemetry {
+    /// The meter configuration the run used.
+    pub meter: MeterConfig,
+    /// Named counters and histograms (post-warmup values).
+    pub recorder: Recorder,
+    /// The epoch time series (covers the whole run, warmup included;
+    /// rows that overlap the warmup window are flagged).
+    pub timeline: Timeline,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_meter_is_disabled() {
+        assert!(MeterConfig::default().is_disabled());
+        assert!(!MeterConfig {
+            warmup_refs: 1,
+            epoch_refs: None
+        }
+        .is_disabled());
+        assert!(!MeterConfig {
+            warmup_refs: 0,
+            epoch_refs: Some(10)
+        }
+        .is_disabled());
+    }
+
+    #[test]
+    fn telemetry_default_is_empty() {
+        let t = Telemetry::default();
+        assert!(t.meter.is_disabled());
+        assert!(t.recorder.counters().is_empty());
+        assert!(t.timeline.rows().is_empty());
+    }
+}

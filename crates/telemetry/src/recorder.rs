@@ -1,0 +1,137 @@
+//! Named counters and histograms.
+//!
+//! A [`Recorder`] is the flat, export-ready view of a run's event
+//! counters: coherence events (invalidations, O-state forwards,
+//! directory evictions), interconnect totals, and DRAM occupancy, plus
+//! named log-bucketed latency histograms. Entries keep insertion order
+//! so CSV/JSON exports are deterministic.
+
+use silo_types::stats::Histogram;
+
+/// An ordered bag of named `u64` counters and latency [`Histogram`]s.
+///
+/// # Examples
+///
+/// ```
+/// use silo_telemetry::Recorder;
+///
+/// let mut r = Recorder::default();
+/// r.add("invalidations", 3);
+/// r.add("invalidations", 2);
+/// r.histogram("llc_latency").record(120);
+/// assert_eq!(r.get("invalidations"), 5);
+/// assert_eq!(r.get("missing"), 0);
+/// assert_eq!(r.histograms().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Recorder {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero on first use.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name.to_string(), n)),
+        }
+    }
+
+    /// Sets the named counter to `n`, creating it on first use.
+    pub fn set(&mut self, name: &str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = n,
+            None => self.counters.push((name.to_string(), n)),
+        }
+    }
+
+    /// Current value of the named counter (zero when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// All counters in insertion order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// The named histogram, created log-bucketed on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        if let Some(i) = self.histograms.iter().position(|(k, _)| k == name) {
+            return &mut self.histograms[i].1;
+        }
+        self.histograms.push((name.to_string(), Histogram::log2()));
+        &mut self.histograms.last_mut().expect("just pushed").1
+    }
+
+    /// The named histogram, when it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All histograms in insertion order.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Resets every counter to zero and clears every histogram, keeping
+    /// the names (the warmup boundary of a measurement window).
+    pub fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|(_, v)| *v = 0);
+        self.histograms.iter_mut().for_each(|(_, h)| h.reset());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_keep_order() {
+        let mut r = Recorder::new();
+        r.add("b", 1);
+        r.add("a", 2);
+        r.add("b", 3);
+        r.set("c", 9);
+        r.set("a", 1);
+        let names: Vec<&str> = r.counters().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["b", "a", "c"]);
+        assert_eq!(r.get("b"), 4);
+        assert_eq!(r.get("a"), 1);
+        assert_eq!(r.get("c"), 9);
+    }
+
+    #[test]
+    fn histograms_are_log_bucketed_on_first_use() {
+        let mut r = Recorder::new();
+        for v in [1u64, 100, 10_000] {
+            r.histogram("lat").record(v);
+        }
+        let h = r.get_histogram("lat").expect("created");
+        assert_eq!(h.count(), 3);
+        assert!(r.get_histogram("other").is_none());
+    }
+
+    #[test]
+    fn reset_zeroes_values_but_keeps_names() {
+        let mut r = Recorder::new();
+        r.add("x", 5);
+        r.histogram("lat").record(7);
+        r.reset();
+        assert_eq!(r.get("x"), 0);
+        assert_eq!(r.counters().len(), 1);
+        assert_eq!(r.get_histogram("lat").expect("kept").count(), 0);
+    }
+}

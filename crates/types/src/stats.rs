@@ -72,12 +72,20 @@ pub fn ratio(num: u64, den: u64) -> f64 {
 
 /// A fixed-bucket histogram of cycle latencies.
 ///
-/// Buckets are linear up to `linear_max` with the given width, plus one
-/// overflow bucket. Tracks count, sum, and max so means remain exact even
-/// when samples land in the overflow bucket.
+/// Two bucketings are supported: [`Histogram::new`] builds linear buckets
+/// of a fixed width plus one overflow bucket, and [`Histogram::log2`]
+/// builds logarithmic (power-of-two) buckets covering the whole `u64`
+/// range — the telemetry subsystem's default, since latencies span from a
+/// handful of SRAM cycles to memory round trips. Tracks count, sum, and
+/// max so means remain exact even when samples land in the overflow
+/// bucket.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
+    /// Linear bucket width; unused (1) when `log2` is set.
     bucket_width: u64,
+    /// Log2 bucketing: bucket 0 holds value 0, bucket `b` holds
+    /// `[2^(b-1), 2^b)`.
+    log2: bool,
     buckets: Vec<u64>,
     count: u64,
     sum: u64,
@@ -96,6 +104,7 @@ impl Histogram {
         assert!(n_buckets > 0, "need at least one bucket");
         Histogram {
             bucket_width,
+            log2: false,
             buckets: vec![0; n_buckets + 1],
             count: 0,
             sum: 0,
@@ -103,13 +112,59 @@ impl Histogram {
         }
     }
 
+    /// Creates a log-bucketed histogram: bucket 0 holds the value 0 and
+    /// bucket `b` holds `[2^(b-1), 2^b)`, so 65 buckets cover the whole
+    /// `u64` range with constant relative resolution — no overflow bucket
+    /// and no tuning.
+    pub fn log2() -> Self {
+        Histogram {
+            bucket_width: 1,
+            log2: true,
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value under the active bucketing (clamped to the
+    /// last bucket for linear overflow).
+    fn bucket_of(&self, value: u64) -> usize {
+        let idx = if self.log2 {
+            (u64::BITS - value.leading_zeros()) as usize
+        } else {
+            (value / self.bucket_width) as usize
+        };
+        idx.min(self.buckets.len() - 1)
+    }
+
+    /// Inclusive-lower / exclusive-upper value bounds of a bucket. The
+    /// linear overflow bucket is bounded above by the observed maximum.
+    fn bucket_bounds(&self, idx: usize) -> (u64, u64) {
+        if self.log2 {
+            if idx == 0 {
+                (0, 1)
+            } else {
+                let lo = 1u64 << (idx - 1);
+                let hi = if idx >= 64 { u64::MAX } else { 1u64 << idx };
+                (lo, hi)
+            }
+        } else {
+            let lo = idx as u64 * self.bucket_width;
+            if idx == self.buckets.len() - 1 {
+                (lo, self.max.max(lo).saturating_add(1))
+            } else {
+                (lo, lo + self.bucket_width)
+            }
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = (value / self.bucket_width) as usize;
-        let last = self.buckets.len() - 1;
-        self.buckets[idx.min(last)] += 1;
+        let idx = self.bucket_of(value);
+        self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -128,13 +183,46 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate percentile (0.0..=1.0) from bucket boundaries; returns
-    /// the upper edge of the bucket containing the percentile.
+    /// Approximate percentile (0.0..=1.0), linearly interpolated within
+    /// the bucket containing the target rank. Returning a point inside
+    /// the bucket instead of its upper edge keeps tail estimates honest
+    /// for wide high buckets (log2 buckets double in width), and the
+    /// estimate never exceeds the observed maximum.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
-    pub fn percentile(&self, p: f64) -> u64 {
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if (seen + b) as f64 >= target {
+                let (lo, hi) = self.bucket_bounds(i);
+                let within = (target - seen as f64) / b as f64;
+                let est = lo as f64 + (hi - lo) as f64 * within;
+                return est.min(self.max as f64);
+            }
+            seen += b;
+        }
+        self.max as f64
+    }
+
+    /// The pre-interpolation percentile: the upper edge of the bucket
+    /// containing the target rank. Kept solely so the legacy
+    /// `silo-bench/v1` `llc_latency` fields stay bit-identical across
+    /// releases; new code should use [`Histogram::percentile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile_upper_edge(&self, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
         if self.count == 0 {
             return 0;
@@ -144,7 +232,11 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return ((i as u64) + 1) * self.bucket_width;
+                return if self.log2 {
+                    self.bucket_bounds(i).1
+                } else {
+                    ((i as u64) + 1) * self.bucket_width
+                };
             }
         }
         self.max
@@ -277,7 +369,63 @@ mod tests {
         let p90 = h.percentile(0.9);
         let p99 = h.percentile(0.99);
         assert!(p50 <= p90 && p90 <= p99);
-        assert!((45..=55).contains(&p50), "p50={p50}");
+        // Interpolated: the rank-50 sample is 49, and interpolation stays
+        // within its unit bucket rather than jumping to the upper edge.
+        assert!((45.0..=55.0).contains(&p50), "p50={p50}");
+        assert!(p99 <= h.max() as f64);
+    }
+
+    #[test]
+    fn histogram_percentile_interpolates_within_wide_buckets() {
+        // 100 samples all equal to 1000 land in one wide bucket
+        // ([960, 1024) at width 64). The old upper-edge percentile said
+        // 1024 for every quantile; interpolation must not exceed the
+        // observed maximum.
+        let mut h = Histogram::new(64, 64);
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        assert!(h.percentile(0.99) <= 1000.0);
+        assert_eq!(h.percentile_upper_edge(0.99), 1024);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_exact_sorted_within_a_bucket() {
+        // Interpolated percentiles of a log2 histogram must stay within
+        // one bucket of the exact sorted-order percentile.
+        let mut h = Histogram::log2();
+        let mut exact: Vec<u64> = (0..500u64).map(|i| (i * 37) % 700).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_unstable();
+        for p in [0.25, 0.5, 0.9, 0.95, 0.99] {
+            let rank = ((p * exact.len() as f64).ceil() as usize).max(1) - 1;
+            let truth = exact[rank] as f64;
+            let est = h.percentile(p);
+            // A log2 bucket spans [2^(b-1), 2^b), so its width never
+            // exceeds the values it holds: the estimate can be off by at
+            // most the true value itself (and the old upper-edge rule
+            // could not promise even that for the overflow bucket).
+            let tolerance = truth.max(1.0);
+            assert!(
+                (est - truth).abs() <= tolerance,
+                "p{p}: estimate {est} vs exact {truth}"
+            );
+            assert!(est <= h.max() as f64);
+        }
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_bit_width() {
+        let mut h = Histogram::log2();
+        for v in [0, 1, 2, 3, 4, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), u64::MAX);
+        // Every quantile stays within the recorded range.
+        assert!(h.percentile(0.01) <= h.percentile(0.99));
     }
 
     #[test]
@@ -287,7 +435,8 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile_upper_edge(0.5), 0);
     }
 
     #[test]
