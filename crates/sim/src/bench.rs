@@ -18,12 +18,14 @@
 //! array.
 
 use crate::config::{SystemConfig, VaultDesign};
+use crate::error::ConfigError;
 use crate::json::Json;
-use crate::registry::{run_system_on_traces_metered, SystemSpec};
+use crate::registry::{run_system_on_source_metered, SystemSpec};
 use crate::run::RunStats;
-use crate::workload::WorkloadSpec;
+use crate::workload::{SyntheticTrace, WorkloadSpec};
 use silo_coherence::ServedBy;
 use silo_telemetry::{MeterConfig, Telemetry};
+use silo_trace::TraceSource;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -161,24 +163,35 @@ impl BenchRecord {
 }
 
 /// Runs one sweep point (every selected system) and times each run.
+/// Each system pulls its references from a fresh streaming
+/// [`silo_trace::TraceSource`] ([`WorkloadSpec::source`]) — the lazy
+/// synthetic generator or a `.silotrace` replay — so a point never
+/// materializes its trace; identical seeds make the per-system streams
+/// identical.
 ///
 /// # Panics
 ///
-/// Panics if the point resolves to an invalid config; the builder API
-/// validates the axes up front.
+/// Panics if the point resolves to an invalid config or a replay file
+/// vanished since validation; the builder API checks both up front.
 pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
     let cfg = point.config(&spec.base);
     cfg.validate().expect("sweep axes validated at build time");
-    // Traces depend only on (workload, cores, scale, seed): generate once
-    // and share them across every system at this point.
-    let traces = point.workload.generate(cfg.cores, cfg.scale, spec.seed);
     let runs = spec
         .systems
         .iter()
         .map(|sys| {
+            let mut source = point
+                .workload
+                .source(cfg.cores, cfg.scale, spec.seed)
+                .expect("workload sources validated at build time");
             let t = Instant::now();
-            let (stats, telemetry) =
-                run_system_on_traces_metered(sys, &cfg, &point.workload.name, &traces, &spec.meter);
+            let (stats, telemetry) = run_system_on_source_metered(
+                sys,
+                &cfg,
+                &point.workload.name,
+                &mut *source,
+                &spec.meter,
+            );
             SystemRun {
                 stats,
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
@@ -190,6 +203,99 @@ pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
         point: point.clone(),
         runs,
     }
+}
+
+/// Captures every generator-backed (workload × cores × scale)
+/// combination of `spec` into `dir` as `.silotrace` files, streaming —
+/// references flow straight from the lazy generator into the buffered
+/// writer, so captures of any length use O(cores) memory. Replay
+/// workloads are skipped (they already live on disk), and the mlp /
+/// vault axes do not affect traces, so they fan out nothing. Returns
+/// the written paths.
+///
+/// File names are `<name>-c<cores>-s<scale>.silotrace` with
+/// non-filename characters of the workload name mapped to `-`; the
+/// original name, seed, and spec string travel in the header, and a
+/// replay run labels its result rows with that original name — which is
+/// what makes record/replay rows byte-identical.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::Trace`] when the directory cannot be created
+/// or a file cannot be written.
+pub fn record_traces(
+    spec: &SweepSpec,
+    dir: &std::path::Path,
+) -> Result<Vec<std::path::PathBuf>, ConfigError> {
+    let trace_err = |path: &std::path::Path, message: String| ConfigError::Trace {
+        path: path.display().to_string(),
+        message,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| trace_err(dir, e.to_string()))?;
+    let mut written = Vec::new();
+    for w in &spec.workloads {
+        if w.trace_file.is_some() {
+            continue;
+        }
+        for &cores in &spec.cores {
+            for &scale in &spec.scales {
+                let sanitized: String = w
+                    .name
+                    .chars()
+                    .map(|c| {
+                        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                            c
+                        } else {
+                            '-'
+                        }
+                    })
+                    .collect();
+                let path = dir.join(format!(
+                    "{sanitized}-c{cores}-s{scale}.{}",
+                    silo_trace::EXTENSION
+                ));
+                let header = silo_trace::TraceHeader {
+                    cores,
+                    refs_per_core: w.refs_per_core as u64,
+                    seed: spec.seed,
+                    name: w.name.clone(),
+                    provenance: format!(
+                        "silo-sim capture: spec '{}', cores {cores}, scale {scale}, seed {}",
+                        w.name, spec.seed
+                    ),
+                };
+                let mut writer = silo_trace::TraceWriter::create(&path, &header)
+                    .map_err(|e| trace_err(&path, e.to_string()))?;
+                let mut source = SyntheticTrace::new(w, cores, scale, spec.seed);
+                // Round-robin interleaving: the order the run loop
+                // consumes, so replay buffers at most one record per
+                // core.
+                let mut live = cores;
+                let mut done = vec![false; cores];
+                while live > 0 {
+                    for (core, done) in done.iter_mut().enumerate() {
+                        if *done {
+                            continue;
+                        }
+                        match source.next(core) {
+                            Some(mr) => writer
+                                .write(core, mr)
+                                .map_err(|e| trace_err(&path, e.to_string()))?,
+                            None => {
+                                *done = true;
+                                live -= 1;
+                            }
+                        }
+                    }
+                }
+                writer
+                    .finish()
+                    .map_err(|e| trace_err(&path, e.to_string()))?;
+                written.push(path);
+            }
+        }
+    }
+    Ok(written)
 }
 
 /// Runs every point on the calling thread, in point order.

@@ -269,7 +269,6 @@ impl SimulationBuilder {
     /// selections, or an inconsistent base config.
     pub fn build(self) -> Result<Simulation, ConfigError> {
         let systems = self.resolve_systems()?;
-        let workloads = self.resolve_workloads()?;
         let cores = self.validated_axis(
             self.cores.clone(),
             self.config.cores,
@@ -277,6 +276,7 @@ impl SimulationBuilder {
             |&c| (1..=64).contains(&c),
             "must be in [1, 64] (directory masks are u64)",
         )?;
+        let workloads = self.resolve_workloads(&cores)?;
         let scales = self.validated_axis(
             self.scales.clone(),
             self.config.scale,
@@ -316,6 +316,28 @@ impl SimulationBuilder {
                 value: "0".into(),
                 reason: "must be at least 1 reference per epoch".into(),
             });
+        }
+        // Reject runs whose measurement window is provably empty — a
+        // warmup window that swallows every reference — instead of
+        // reporting undefined IPC and speedups. Trace workloads were
+        // already checked against their exact record counts during
+        // resolution.
+        let warmup = self.warmup.unwrap_or(0);
+        for w in workloads.iter().filter(|w| w.trace_file.is_none()) {
+            for &c in &cores {
+                let total = (w.refs_per_core as u64).saturating_mul(c as u64);
+                if total <= warmup {
+                    return Err(ConfigError::BadValue {
+                        what: "warmup".into(),
+                        value: warmup.to_string(),
+                        reason: format!(
+                            "swallows all {total} references of workload '{}' at {c} cores; \
+                             nothing remains to measure",
+                            w.name
+                        ),
+                    });
+                }
+            }
         }
         self.config.validate()?;
         Ok(Simulation {
@@ -361,11 +383,12 @@ impl SimulationBuilder {
         Ok(out)
     }
 
-    fn resolve_workloads(&self) -> Result<Vec<WorkloadSpec>, ConfigError> {
+    fn resolve_workloads(&self, cores: &[usize]) -> Result<Vec<WorkloadSpec>, ConfigError> {
         // The global refs setting is a *default*: it replaces the preset
         // reference counts but yields to an explicit `refs=` parameter
         // in a custom spec, and never touches specs added directly with
-        // `workload_spec` (their struct already states a count).
+        // `workload_spec` (their struct already states a count) or
+        // `trace:file=` replays (their length is the file's).
         let mut out: Vec<WorkloadSpec> = match &self.workloads {
             Some(raw) => {
                 let mut parsed = Vec::with_capacity(raw.len());
@@ -386,6 +409,11 @@ impl SimulationBuilder {
             None => Vec::new(),
         };
         out.extend(self.workload_specs.iter().cloned());
+        // Uniqueness is judged on the names as selected (the spec
+        // strings), *before* trace resolution substitutes header
+        // names: replaying a capture alongside its same-named source
+        // workload is the natural way to validate a round trip in one
+        // run, and must not be rejected as a duplicate.
         for (i, w) in out.iter().enumerate() {
             if out[..i].iter().any(|o| o.name == w.name) {
                 return Err(ConfigError::Duplicate {
@@ -393,6 +421,9 @@ impl SimulationBuilder {
                     name: w.name.clone(),
                 });
             }
+        }
+        for w in &mut out {
+            resolve_trace_workload(w, cores, self.warmup.unwrap_or(0))?;
         }
         if out.is_empty() {
             return Err(ConfigError::Empty("workloads"));
@@ -454,6 +485,64 @@ impl SimulationBuilder {
         }
         Ok(out)
     }
+}
+
+/// Resolves a `trace:file=` workload against its file: one streaming
+/// [`silo_trace::verify`] pass checks the checksum and counts, the
+/// header's workload name replaces the spec string (so replayed result
+/// rows match the original run's rows byte for byte — two replays of
+/// same-named captures will share a row label), the longest per-core
+/// stream becomes `refs_per_core`, every value of the cores axis must
+/// equal the recorded core count, and the *exact* record count must
+/// leave a non-empty measurement window after `warmup` (per-core
+/// streams may be uneven, so `refs_per_core × cores` would overcount).
+/// Generator-backed workloads pass through untouched.
+fn resolve_trace_workload(
+    w: &mut WorkloadSpec,
+    cores: &[usize],
+    warmup: u64,
+) -> Result<(), ConfigError> {
+    let Some(path) = &w.trace_file else {
+        return Ok(());
+    };
+    let trace_err = |message: String| ConfigError::Trace {
+        path: path.display().to_string(),
+        message,
+    };
+    let summary = silo_trace::verify(path).map_err(|e| trace_err(e.to_string()))?;
+    let recorded = summary.header.cores;
+    for &c in cores {
+        if c != recorded {
+            return Err(trace_err(format!(
+                "recorded with {recorded} cores; replay it with cores = {recorded}, not {c}"
+            )));
+        }
+    }
+    w.refs_per_core = summary.per_core.iter().copied().max().unwrap_or(0) as usize;
+    if !summary.header.name.is_empty() {
+        w.name = summary.header.name.clone();
+    }
+    if summary.records == 0 {
+        return Err(ConfigError::BadValue {
+            what: format!("workload '{}'", w.name),
+            value: "0 refs".into(),
+            reason: "resolves to zero references (empty trace?); \
+                     IPC and speedups would be undefined"
+                .into(),
+        });
+    }
+    if summary.records <= warmup {
+        return Err(ConfigError::BadValue {
+            what: "warmup".into(),
+            value: warmup.to_string(),
+            reason: format!(
+                "swallows all {} references of trace workload '{}'; \
+                 nothing remains to measure",
+                summary.records, w.name
+            ),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

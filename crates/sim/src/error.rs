@@ -63,6 +63,13 @@ pub enum ConfigError {
     },
     /// A scenario file could not be read.
     Io(String),
+    /// A `.silotrace` replay file could not be opened or validated.
+    Trace {
+        /// Path of the trace file as given.
+        path: String,
+        /// The underlying `silo_trace::TraceError` message.
+        message: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -104,6 +111,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "scenario line {line}: {message}")
             }
             ConfigError::Io(message) => write!(f, "{message}"),
+            ConfigError::Trace { path, message } => {
+                write!(f, "trace file {path}: {message}")
+            }
         }
     }
 }

@@ -25,6 +25,16 @@
 //! mlp × vault design) out across OS threads and emits machine-readable
 //! `silo-bench/v1` JSON through the dependency-free [`json`] module.
 //!
+//! The run loop streams: every run pulls references one at a time from
+//! a [`TraceSource`] (`silo-trace`) — the lazy synthetic generator
+//! ([`SyntheticTrace`]), an in-memory slice, or a `.silotrace` replay
+//! file — so trace length is bounded by disk, not RAM.
+//! [`bench::record_traces`] (CLI `--record-traces DIR`) captures
+//! generated workloads to versioned, checksummed binary files, the
+//! `trace:file=PATH` workload spec replays them with result rows
+//! byte-identical to the original synthetic run at the same seed, and
+//! `silo-sim trace-info FILE` inspects captures.
+//!
 //! Measurement runs through the `silo-telemetry` subsystem: a
 //! [`MeterConfig`] (`--warmup` / `--epoch`, scenario `warmup =` /
 //! `epoch =`) adds a warmup window that resets measurement counters
@@ -69,19 +79,27 @@ pub mod timeline;
 pub mod timing;
 pub mod workload;
 
-pub use bench::{run_sweep, run_sweep_sequential, BenchRecord, SweepPoint, SweepSpec, SystemRun};
+pub use bench::{
+    record_traces, run_sweep, run_sweep_sequential, BenchRecord, SweepPoint, SweepSpec, SystemRun,
+};
 pub use builder::{Simulation, SimulationBuilder};
 pub use config::{SystemConfig, VaultDesign};
 pub use error::ConfigError;
 pub use json::Json;
 pub use registry::{
-    run_system, run_system_on_traces, run_system_on_traces_metered, SystemInstance, SystemRegistry,
-    SystemSpec,
+    run_system, run_system_on_source_metered, run_system_on_traces, run_system_on_traces_metered,
+    SystemInstance, SystemRegistry, SystemSpec,
 };
 pub use report::{name_widths, print_report, render_report, render_row};
-pub use run::{run, run_baseline, run_metered, run_silo, Protocol, RunStats, ServedCounts};
+pub use run::{
+    run, run_baseline, run_metered, run_metered_source, run_silo, run_source, Protocol, RunStats,
+    ServedCounts,
+};
 pub use scenario::Scenario;
 pub use silo_telemetry::{MeterConfig, Telemetry};
+pub use silo_trace::{
+    SliceTrace, TraceError, TraceHeader, TraceReader, TraceSource, TraceSummary, TraceWriter,
+};
 pub use timeline::{timeline_csv, write_timeline_csv, TIMELINE_HEADER};
 pub use timing::TimingModel;
-pub use workload::{Rng, WorkloadSpec};
+pub use workload::{Rng, SyntheticTrace, WorkloadSpec};

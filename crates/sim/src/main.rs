@@ -7,7 +7,7 @@
 
 use silo_sim::bench::{self, BenchRecord, SweepSpec};
 use silo_sim::{ConfigError, Scenario, Simulation, SystemRegistry, SystemSpec, WorkloadSpec};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const USAGE: &str = "\
@@ -16,6 +16,8 @@ the shared NUCA-LLC baseline, and registry-defined variants
 
 USAGE:
     silo-sim [OPTIONS]
+    silo-sim trace-info FILE     inspect a .silotrace capture (header,
+                                 provenance, record counts, checksum)
 
 OPTIONS:
     --scenario FILE      load a declarative scenario file (key = value:
@@ -30,8 +32,13 @@ OPTIONS:
                          sets (default 64; 1 = full 256 MiB vaults)
     --seed N             workload RNG seed (default 42)
     --mlp N              MSHRs per core (default 8)
-    --workloads a,b,c    comma-separated workloads: presets or custom
-                         specs like zipf:theta=0.9,footprint=4x
+    --workloads a,b,c    comma-separated workloads: presets, custom
+                         specs like zipf:theta=0.9,footprint=4x, or
+                         trace:file=PATH to replay a .silotrace capture
+    --record-traces DIR  capture every generated (workload, cores,
+                         scale) combination of this run to
+                         DIR/<name>-c<cores>-s<scale>.silotrace before
+                         running; replay later with trace:file=PATH
     --vault-design KIND  derive the vault from the silo-dram sweep:
                          'latency' (256 MiB-class), 'capacity'
                          (512 MiB-class), or 'table2' (the Table II
@@ -85,6 +92,7 @@ struct Cli {
     warmup: Option<u64>,
     epoch: Option<u64>,
     timeline: Option<PathBuf>,
+    record_traces: Option<PathBuf>,
 }
 
 fn bad(what: &str, value: impl Into<String>, reason: impl Into<String>) -> ConfigError {
@@ -136,7 +144,13 @@ fn parse_num_list<T: std::str::FromStr>(
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigError> {
     let mut cli = Cli::default();
     let mut args = args;
+    let mut first = true;
     while let Some(arg) = args.next() {
+        if std::mem::take(&mut first) && arg == "trace-info" {
+            let path: String = parse_value("trace-info", args.next())?;
+            print_trace_info(Path::new(&path))?;
+            return Ok(None);
+        }
         match arg.as_str() {
             "--scenario" => {
                 let p: String = parse_value("--scenario", args.next())?;
@@ -181,6 +195,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
                 let p: String = parse_value("--timeline", args.next())?;
                 cli.timeline = Some(PathBuf::from(p));
             }
+            "--record-traces" => {
+                let p: String = parse_value("--record-traces", args.next())?;
+                cli.record_traces = Some(PathBuf::from(p));
+            }
             "--list-systems" => {
                 list_systems();
                 return Ok(None);
@@ -224,7 +242,51 @@ fn list_workloads() {
     }
     println!();
     println!("custom specs: base:key=value[,key=value...], e.g. zipf:theta=0.9,footprint=4x");
-    println!("keys: theta, footprint (4x or 64MiB), shared, writes, dependent, ifetch, refs, gap");
+    println!("  bases: any preset above, plus the aliases 'zipf' and 'uniform'");
+    println!("  keys:  theta, footprint (4x or 64MiB), shared, writes, dependent,");
+    println!("         ifetch, refs, gap (fractions in [0,1])");
+    println!("trace replay: trace:file=PATH streams a .silotrace capture recorded with");
+    println!("  --record-traces; rows keep the original workload name and are");
+    println!("  byte-identical to the synthetic run at the same seed and config");
+    println!("the same grammar works in --workloads and in scenario files");
+}
+
+/// `silo-sim trace-info FILE`: validates the capture end to end (one
+/// streaming pass, checksum included) and prints its header and stats.
+fn print_trace_info(path: &Path) -> Result<(), ConfigError> {
+    let summary = silo_trace::verify(path).map_err(|e| ConfigError::Trace {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let h = &summary.header;
+    println!("trace:        {}", path.display());
+    println!("format:       silotrace v{}", silo_trace::VERSION);
+    println!("workload:     {}", h.name);
+    println!("provenance:   {}", h.provenance);
+    println!("seed:         {}", h.seed);
+    println!("cores:        {}", h.cores);
+    println!("refs/core:    {} (header hint)", h.refs_per_core);
+    let (min, max) = (
+        summary.per_core.iter().min().copied().unwrap_or(0),
+        summary.per_core.iter().max().copied().unwrap_or(0),
+    );
+    println!(
+        "records:      {} (per-core min {min}, max {max})",
+        summary.records
+    );
+    println!(
+        "kinds:        {} ifetch / {} read / {} write ({} dependent)",
+        summary.kinds[0], summary.kinds[1], summary.kinds[2], summary.dependent
+    );
+    let per_ref = if summary.records > 0 {
+        bytes as f64 / summary.records as f64
+    } else {
+        0.0
+    };
+    println!("file size:    {bytes} bytes ({per_ref:.2} bytes/record)");
+    println!("checksum:     OK");
+    Ok(())
 }
 
 /// Assembles the builder from scenario + flags (flags win) and builds.
@@ -308,6 +370,24 @@ fn main() {
     };
 
     let spec = sim.spec();
+    if let Some(dir) = &cli.record_traces {
+        match bench::record_traces(spec, dir) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("recorded {}", p.display());
+                }
+                println!(
+                    "{} trace(s) in {} — replay with --workloads trace:file=PATH",
+                    paths.len(),
+                    dir.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     print_vault_designs(spec);
     let sweep_mode = cli.sweep
         || spec.cores.len() > 1

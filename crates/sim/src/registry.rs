@@ -17,10 +17,11 @@
 //! * `baseline-2x` — the baseline with doubled aggregate LLC capacity.
 
 use crate::config::SystemConfig;
-use crate::run::{baseline_engine, run_metered, silo_engine, Protocol, RunStats};
+use crate::run::{baseline_engine, run_metered_source, silo_engine, Protocol, RunStats};
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
 use silo_telemetry::{MeterConfig, Telemetry};
+use silo_trace::{SliceTrace, TraceSource};
 use silo_types::ByteSize;
 use std::fmt;
 use std::sync::Arc;
@@ -183,20 +184,35 @@ impl Default for SystemRegistry {
 /// the underlying engine calls itself — so variants like
 /// `silo-no-forward` and user-registered systems label their rows
 /// correctly.
+/// References stream from [`WorkloadSpec::source`] (lazy generation or
+/// file replay), so nothing is materialized.
+///
+/// # Panics
+///
+/// Panics when a `trace:file=` workload's file cannot be opened; use
+/// the builder API for fallible resolution.
 pub fn run_system(
     sys: &SystemSpec,
     cfg: &SystemConfig,
     workload: &WorkloadSpec,
     seed: u64,
 ) -> RunStats {
-    let traces = workload.generate(cfg.cores, cfg.scale, seed);
-    run_system_on_traces(sys, cfg, &workload.name, &traces)
+    let mut source = workload
+        .source(cfg.cores, cfg.scale, seed)
+        .expect("workload source");
+    run_system_on_source_metered(
+        sys,
+        cfg,
+        &workload.name,
+        &mut *source,
+        &MeterConfig::default(),
+    )
+    .0
 }
 
-/// Like [`run_system`], but over pre-generated traces, so a sweep point
-/// comparing N systems generates its (identical) traces once instead of
-/// N times. Traces must come from `WorkloadSpec::generate` with the same
-/// `cfg.cores` / `cfg.scale` for results to be comparable.
+/// Like [`run_system`], but over pre-generated traces. Traces must come
+/// from `WorkloadSpec::generate` with the same `cfg.cores` /
+/// `cfg.scale` for results to be comparable.
 pub fn run_system_on_traces(
     sys: &SystemSpec,
     cfg: &SystemConfig,
@@ -206,8 +222,7 @@ pub fn run_system_on_traces(
     run_system_on_traces_metered(sys, cfg, workload_name, traces, &MeterConfig::default()).0
 }
 
-/// [`run_system_on_traces`] with the telemetry meter attached: the
-/// sweep-harness entry point behind `--warmup` / `--epoch`. With the
+/// [`run_system_on_traces`] with the telemetry meter attached. With the
 /// default meter the stats are bit-identical to the unmetered path.
 pub fn run_system_on_traces_metered(
     sys: &SystemSpec,
@@ -216,13 +231,27 @@ pub fn run_system_on_traces_metered(
     traces: &[Vec<silo_types::MemRef>],
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry) {
+    run_system_on_source_metered(sys, cfg, workload_name, &mut SliceTrace::new(traces), meter)
+}
+
+/// The streaming sweep-harness entry point behind `--warmup` /
+/// `--epoch`: instantiates `sys` and drives it over `source`.
+/// Bit-identical to the slice-based paths for the same reference
+/// stream.
+pub fn run_system_on_source_metered(
+    sys: &SystemSpec,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry) {
     let mut inst = sys.instantiate(cfg);
-    let (mut stats, telemetry) = run_metered(
+    let (mut stats, telemetry) = run_metered_source(
         &mut *inst.engine,
         &mut inst.timing,
         cfg,
         workload_name,
-        traces,
+        source,
         meter,
     );
     stats.system = sys.name().to_string();

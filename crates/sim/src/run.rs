@@ -7,8 +7,15 @@
 //! MSHR limit unless the reference is `dependent` on the previous miss
 //! (pointer chasing), which serialises.
 //!
-//! [`run_metered`] additionally drives the telemetry subsystem: a
-//! [`MeterConfig`] warmup window resets the measurement aggregates
+//! The loop is *streaming*: it pulls references one at a time from a
+//! [`TraceSource`] — a lazy synthetic generator, a `.silotrace` file
+//! reader, or an in-memory slice — so trace length is bounded by disk,
+//! not RAM. [`run`] / [`run_metered`] remain the slice-based
+//! conveniences; [`run_source`] / [`run_metered_source`] are the
+//! streaming entry points, bit-identical for the same reference stream.
+//!
+//! [`run_metered_source`] additionally drives the telemetry subsystem:
+//! a [`MeterConfig`] warmup window resets the measurement aggregates
 //! mid-run (cache, directory, and bank-timing state are preserved) and
 //! an epoch [`silo_telemetry::Timeline`] samples IPC,
 //! served-by-level counts, LLC latency percentiles, mesh link
@@ -22,6 +29,7 @@ use silo_coherence::{
     SharedMesiConfig,
 };
 use silo_telemetry::{EpochEnv, MeterConfig, Recorder, ServiceLevel, Telemetry, Timeline};
+use silo_trace::{SliceTrace, TraceSource};
 use silo_types::stats::{ratio, Counter, Histogram};
 use silo_types::{Cycles, MemRef};
 
@@ -308,7 +316,52 @@ pub fn run_metered<P: Protocol + ?Sized>(
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry) {
     assert_eq!(traces.len(), cfg.cores, "one trace per core");
-    let refs = traces.iter().map(Vec::len).max().unwrap_or(0);
+    run_metered_source(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        &mut SliceTrace::new(traces),
+        meter,
+    )
+}
+
+/// [`run`] over a streaming [`TraceSource`]: references are pulled one
+/// at a time, so trace length is bounded by the source (a file, a lazy
+/// generator), not by RAM. Bit-identical to [`run`] for the same
+/// reference stream.
+pub fn run_source<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+) -> RunStats {
+    run_metered_source(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        source,
+        &MeterConfig::default(),
+    )
+    .0
+}
+
+/// The streaming core of the simulation: [`run_metered`] over a
+/// [`TraceSource`]. Cores are interleaved round-robin — one reference
+/// per live core per turn — until every core's stream is exhausted,
+/// which both matches the slice-era iteration order exactly (so results
+/// are bit-identical) and keeps file-backed replay memory bounded by
+/// the reader's buffer instead of the trace length.
+pub fn run_metered_source<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry) {
     let mut cores: Vec<CoreState> = vec![CoreState::default(); cfg.cores];
     let mut served = ServedCounts::default();
     let mut llc_accesses = 0u64;
@@ -341,9 +394,18 @@ pub fn run_metered<P: Protocol + ?Sized>(
         }};
     }
 
-    for i in 0..refs {
-        for (c, trace) in traces.iter().enumerate() {
-            let Some(&mr) = trace.get(i) else { continue };
+    let mut exhausted = vec![false; cfg.cores];
+    let mut live = cfg.cores;
+    while live > 0 {
+        for (c, done) in exhausted.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            let Some(mr) = source.next(c) else {
+                *done = true;
+                live -= 1;
+                continue;
+            };
             // The reference instruction itself retires too: charge
             // `gap + 1` cycles to match the `gap + 1` instructions, or a
             // hit-only trace would report IPC above the base-CPI-1 ceiling.
@@ -475,20 +537,35 @@ pub fn run_metered<P: Protocol + ?Sized>(
 
 /// Builds and runs the SILO system over a workload (the concrete-type
 /// path; the registry's "SILO" entry produces bit-identical results
-/// through dyn dispatch).
+/// through dyn dispatch). References stream from
+/// [`WorkloadSpec::source`] — lazily generated or replayed from file —
+/// so the trace is never materialized.
+///
+/// # Panics
+///
+/// Panics when a `trace:file=` workload's file cannot be opened; use
+/// the builder API for fallible resolution.
 pub fn run_silo(cfg: &SystemConfig, spec: &WorkloadSpec, seed: u64) -> RunStats {
     let mut engine = silo_engine(cfg, true);
     let mut timing = TimingModel::silo(cfg);
-    let traces = spec.generate(cfg.cores, cfg.scale, seed);
-    run(&mut engine, &mut timing, cfg, &spec.name, &traces)
+    let mut source = spec
+        .source(cfg.cores, cfg.scale, seed)
+        .expect("workload source");
+    run_source(&mut engine, &mut timing, cfg, &spec.name, &mut *source)
 }
 
 /// Builds and runs the shared-LLC baseline over the same workload.
+///
+/// # Panics
+///
+/// Same as [`run_silo`].
 pub fn run_baseline(cfg: &SystemConfig, spec: &WorkloadSpec, seed: u64) -> RunStats {
     let mut engine = baseline_engine(cfg);
     let mut timing = TimingModel::baseline(cfg);
-    let traces = spec.generate(cfg.cores, cfg.scale, seed);
-    run(&mut engine, &mut timing, cfg, &spec.name, &traces)
+    let mut source = spec
+        .source(cfg.cores, cfg.scale, seed)
+        .expect("workload source");
+    run_source(&mut engine, &mut timing, cfg, &spec.name, &mut *source)
 }
 
 #[cfg(test)]

@@ -23,9 +23,11 @@
 //! ```
 //!
 //! Workload lists use the same grammar as `--workloads`
-//! ([`WorkloadSpec::split_list`]), so custom specs keep their
-//! comma-separated parameters. Every parse failure is a typed
-//! [`ConfigError::Scenario`] naming the 1-based line.
+//! ([`WorkloadSpec::split_list`]): preset names, `base:key=value`
+//! custom parameterizations keeping their comma-separated parameters,
+//! and `trace:file=PATH` replays of `.silotrace` captures. Every parse
+//! failure is a typed [`ConfigError::Scenario`] naming the 1-based
+//! line, and workload-spec failures restate the accepted grammar.
 
 use crate::error::ConfigError;
 use crate::workload::WorkloadSpec;
@@ -65,6 +67,16 @@ fn err(line: usize, message: impl Into<String>) -> ConfigError {
         line,
         message: message.into(),
     }
+}
+
+/// Grammar reminder appended to workload-spec failures, so a scenario
+/// author sees the accepted forms without leaving the error message.
+const SPEC_HINT: &str = " (workload specs are preset names, base:key=value custom \
+     forms like zipf:theta=0.9,footprint=4x, or trace:file=PATH replays \
+     of .silotrace captures — see --list-workloads)";
+
+fn spec_err(line: usize, e: &ConfigError) -> ConfigError {
+    err(line, format!("{e}{SPEC_HINT}"))
 }
 
 fn parse_num_list<T: std::str::FromStr>(
@@ -146,8 +158,7 @@ impl Scenario {
                 }
                 "workloads" => {
                     dup(s.workloads.is_some())?;
-                    let items =
-                        WorkloadSpec::split_list(value).map_err(|e| err(n, e.to_string()))?;
+                    let items = WorkloadSpec::split_list(value).map_err(|e| spec_err(n, &e))?;
                     if items.is_empty() {
                         return Err(err(n, "workloads needs at least one value"));
                     }
@@ -155,13 +166,13 @@ impl Scenario {
                     // reported with this line number, not later from the
                     // builder without one.
                     for item in &items {
-                        WorkloadSpec::parse(item).map_err(|e| err(n, e.to_string()))?;
+                        WorkloadSpec::parse(item).map_err(|e| spec_err(n, &e))?;
                     }
                     s.workloads = Some(items);
                 }
                 // `workload` appends a single spec and may repeat.
                 "workload" => {
-                    WorkloadSpec::parse(value).map_err(|e| err(n, e.to_string()))?;
+                    WorkloadSpec::parse(value).map_err(|e| spec_err(n, &e))?;
                     pending_workloads.push(value.to_string());
                 }
                 "cores" => {
@@ -303,6 +314,22 @@ mod tests {
                 }
                 other => panic!("'{text}' produced non-scenario error {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn workload_spec_errors_restate_the_grammar() {
+        for text in [
+            "workloads = zipf:bogus=1",
+            "workload = trace:file=",
+            "workloads = footprint=4x",
+        ] {
+            let e = Scenario::parse(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(
+                msg.contains("base:key=value") && msg.contains("trace:file=PATH"),
+                "'{text}' error must document the spec grammar, got: {msg}"
+            );
         }
     }
 

@@ -12,7 +12,9 @@
 //! and the shared region at `1 << 52`. Regions never overlap.
 
 use crate::error::ConfigError;
+use silo_trace::{TraceReader, TraceSource};
 use silo_types::{AccessKind, LineAddr, MemRef};
+use std::path::PathBuf;
 
 /// SplitMix64: a tiny, high-quality deterministic generator.
 #[derive(Clone, Debug)]
@@ -122,6 +124,10 @@ pub struct WorkloadSpec {
     pub mean_gap: u32,
     /// Zipf skew over the shared region (0.0 = uniform).
     pub zipf_theta: f64,
+    /// Replay source: when set (the `trace:file=PATH` spec form),
+    /// references stream from this `.silotrace` capture instead of the
+    /// synthetic generator, and the generator fields above are unused.
+    pub trace_file: Option<PathBuf>,
 }
 
 impl WorkloadSpec {
@@ -141,6 +147,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.35,
             mean_gap: 6,
             zipf_theta: 0.0,
+            trace_file: None,
         }
     }
 
@@ -159,6 +166,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.25,
             mean_gap: 6,
             zipf_theta: 0.9,
+            trace_file: None,
         }
     }
 
@@ -177,6 +185,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.30,
             mean_gap: 5,
             zipf_theta: 0.6,
+            trace_file: None,
         }
     }
 
@@ -195,6 +204,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.70,
             mean_gap: 3,
             zipf_theta: 0.0,
+            trace_file: None,
         }
     }
 
@@ -214,6 +224,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.20,
             mean_gap: 5,
             zipf_theta: 0.4,
+            trace_file: None,
         }
     }
 
@@ -233,6 +244,7 @@ impl WorkloadSpec {
             dependent_fraction: 0.15,
             mean_gap: 4,
             zipf_theta: 0.0,
+            trace_file: None,
         }
     }
 
@@ -263,11 +275,13 @@ impl WorkloadSpec {
         }
     }
 
-    /// Parses a workload spec string: either a preset name
-    /// (`pointer-chase`) or a custom parameterization of the form
+    /// Parses a workload spec string: a preset name (`pointer-chase`),
+    /// a custom parameterization of the form
     /// `base:key=value[,key=value...]` (e.g.
-    /// `zipf:theta=0.9,footprint=4x`). The same grammar is accepted by
-    /// `--workloads` on the CLI and by scenario files.
+    /// `zipf:theta=0.9,footprint=4x`), or the replay form
+    /// `trace:file=PATH` streaming a recorded `.silotrace` capture. The
+    /// same grammar is accepted by `--workloads` on the CLI and by
+    /// scenario files.
     ///
     /// Recognized keys: `theta` (Zipf skew ≥ 0), `footprint` (private
     /// working set — `4x` multiplies the base, `64MiB` sets it
@@ -301,6 +315,11 @@ impl WorkloadSpec {
             Some((b, p)) => (b.trim(), Some(p)),
             None => (spec, None),
         };
+        if base == "trace" {
+            // Replay specs ignore the refs default: the file's own
+            // length is the trace length.
+            return Self::parse_trace_spec(spec, params);
+        }
         let mut w = Self::base_by_name(base)
             .ok_or_else(|| ConfigError::UnknownWorkload(base.to_string()))?;
         if let Some(refs) = default_refs {
@@ -390,6 +409,62 @@ impl WorkloadSpec {
         Ok(w)
     }
 
+    /// Parses the replay form `trace:file=PATH`: a workload whose
+    /// references stream from a `.silotrace` capture. The builder
+    /// resolves the file at build time (validating the checksum and
+    /// filling in name and length from the header), so parsing does no
+    /// I/O.
+    fn parse_trace_spec(spec: &str, params: Option<&str>) -> Result<WorkloadSpec, ConfigError> {
+        let bad = |reason: String| ConfigError::BadWorkloadSpec {
+            spec: spec.to_string(),
+            reason,
+        };
+        let mut file: Option<PathBuf> = None;
+        for kv in params
+            .unwrap_or("")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| bad(format!("parameter '{kv}' is not key=value")))?;
+            match key.trim() {
+                "file" => {
+                    let value = value.trim();
+                    if value.is_empty() {
+                        return Err(bad("file= needs a path".into()));
+                    }
+                    file = Some(PathBuf::from(value));
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unknown parameter '{other}' (trace specs take only file=PATH)"
+                    )))
+                }
+            }
+        }
+        let Some(file) = file else {
+            return Err(bad(
+                "trace replay needs file=PATH (e.g. trace:file=out.silotrace)".into(),
+            ));
+        };
+        Ok(WorkloadSpec {
+            name: spec.to_string(),
+            refs_per_core: 0, // resolved from the file header at build time
+            private_lines: 0,
+            shared_lines: 0,
+            code_lines: 0,
+            shared_fraction: 0.0,
+            ifetch_fraction: 0.0,
+            write_fraction: 0.0,
+            dependent_fraction: 0.0,
+            mean_gap: 0,
+            zipf_theta: 0.0,
+            trace_file: Some(file),
+        })
+    }
+
     /// Splits a comma-separated list of workload specs into individual
     /// spec strings, keeping custom-spec parameters attached to their
     /// base: a segment of the form `key=value` (no `:` before the `=`)
@@ -457,64 +532,210 @@ impl WorkloadSpec {
     }
 
     /// Generates the per-core reference streams, deterministically from
-    /// `seed`. Region sizes are divided by `scale` (matching the cache
-    /// scaling of the systems), flooring at one line.
+    /// `seed`, fully materialized. Region sizes are divided by `scale`
+    /// (matching the cache scaling of the systems), flooring at one
+    /// line. [`WorkloadSpec::source`] produces the identical stream
+    /// lazily, one reference at a time, for runs that should not hold
+    /// the whole trace in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `trace:file=` replay specs, which have no synthetic
+    /// generator — stream them through [`WorkloadSpec::source`].
     pub fn generate(&self, cores: usize, scale: u64, seed: u64) -> Vec<Vec<MemRef>> {
-        let private = (self.private_lines / scale).max(1);
-        let shared = (self.shared_lines / scale).max(1);
-        let code = (self.code_lines / scale.min(8)).max(16);
-        let zipf = if self.zipf_theta > 0.0 {
-            Some(Zipf::new(shared, self.zipf_theta))
-        } else {
-            None
-        };
+        assert!(
+            self.trace_file.is_none(),
+            "trace-backed workload '{}' streams from file; use WorkloadSpec::source",
+            self.name
+        );
+        let regions = Regions::of(self, scale);
         (0..cores)
             .map(|core| {
-                let mut rng = Rng::new(seed ^ (core as u64).wrapping_mul(0xa076_1d64_78bd_642f));
-                let priv_base = (core as u64 + 1) << 32;
-                let code_base = (1u64 << 44) | ((core as u64 + 1) << 24);
-                let shared_base = 1u64 << 52;
+                let mut cursor = CoreCursor::new(core, seed);
                 (0..self.refs_per_core)
-                    .map(|_| {
-                        let gap = rng.below(2 * self.mean_gap as u64 + 1) as u32;
-                        if rng.chance(self.ifetch_fraction) {
-                            return MemRef {
-                                line: LineAddr::new(code_base + rng.below(code)),
-                                kind: AccessKind::IFetch,
-                                gap_instructions: gap,
-                                dependent: false,
-                            };
-                        }
-                        let (line, shared_ref) = if rng.chance(self.shared_fraction) {
-                            let off = match &zipf {
-                                Some(z) => z.sample(&mut rng),
-                                None => rng.below(shared),
-                            };
-                            (LineAddr::new(shared_base + off), true)
-                        } else {
-                            (LineAddr::new(priv_base + rng.below(private)), false)
-                        };
-                        // Writes to the shared region are rarer than the
-                        // overall write mix (read-mostly sharing, Fig. 4).
-                        let wf = if shared_ref {
-                            self.write_fraction * 0.4
-                        } else {
-                            self.write_fraction
-                        };
-                        MemRef {
-                            line,
-                            kind: if rng.chance(wf) {
-                                AccessKind::Write
-                            } else {
-                                AccessKind::Read
-                            },
-                            gap_instructions: gap,
-                            dependent: rng.chance(self.dependent_fraction),
-                        }
-                    })
+                    .map(|_| cursor.gen_ref(self, &regions))
                     .collect()
             })
             .collect()
+    }
+
+    /// Opens this workload as a streaming [`TraceSource`]: the lazy
+    /// synthetic generator (bit-identical to
+    /// [`WorkloadSpec::generate`]) for generator-backed specs, or a
+    /// `.silotrace` file reader for `trace:file=` replay specs. Either
+    /// way, peak memory is O(cores), independent of trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Trace`] when a replay file cannot be
+    /// opened, has a malformed header, or was recorded with a core
+    /// count other than `cores`.
+    pub fn source(
+        &self,
+        cores: usize,
+        scale: u64,
+        seed: u64,
+    ) -> Result<Box<dyn TraceSource>, ConfigError> {
+        let Some(path) = &self.trace_file else {
+            return Ok(Box::new(SyntheticTrace::new(self, cores, scale, seed)));
+        };
+        let trace_err = |message: String| ConfigError::Trace {
+            path: path.display().to_string(),
+            message,
+        };
+        // One streaming validation pass before replay: `TraceReader`
+        // itself trusts the stream (its per-record path cannot report
+        // errors), so verifying here keeps corrupt files from silently
+        // truncating runs that bypass the builder (run_silo,
+        // run_system, direct source() callers). The builder verifies
+        // too, for typed errors at build time.
+        silo_trace::verify(path).map_err(|e| trace_err(e.to_string()))?;
+        let reader = TraceReader::open(path).map_err(|e| trace_err(e.to_string()))?;
+        let recorded = reader.header().cores;
+        if recorded != cores {
+            return Err(trace_err(format!(
+                "recorded with {recorded} cores; replay it with --cores {recorded}, not {cores}"
+            )));
+        }
+        Ok(Box::new(reader))
+    }
+}
+
+/// Region geometry of one generation run, resolved from a spec and a
+/// capacity scale (shared by the materializing and streaming paths so
+/// they stay bit-identical).
+#[derive(Clone, Debug)]
+struct Regions {
+    private: u64,
+    shared: u64,
+    code: u64,
+    zipf: Option<Zipf>,
+}
+
+impl Regions {
+    fn of(spec: &WorkloadSpec, scale: u64) -> Self {
+        let shared = (spec.shared_lines / scale).max(1);
+        Regions {
+            private: (spec.private_lines / scale).max(1),
+            shared,
+            code: (spec.code_lines / scale.min(8)).max(16),
+            zipf: (spec.zipf_theta > 0.0).then(|| Zipf::new(shared, spec.zipf_theta)),
+        }
+    }
+}
+
+/// One core's generator state: its RNG stream and region base
+/// addresses.
+#[derive(Clone, Debug)]
+struct CoreCursor {
+    rng: Rng,
+    priv_base: u64,
+    code_base: u64,
+}
+
+/// Line-address base of the shared region (see the module docs).
+const SHARED_BASE: u64 = 1 << 52;
+
+impl CoreCursor {
+    fn new(core: usize, seed: u64) -> Self {
+        CoreCursor {
+            rng: Rng::new(seed ^ (core as u64).wrapping_mul(0xa076_1d64_78bd_642f)),
+            priv_base: (core as u64 + 1) << 32,
+            code_base: (1u64 << 44) | ((core as u64 + 1) << 24),
+        }
+    }
+
+    /// Draws the next reference of this core's stream. The draw order
+    /// is the generator's wire format: changing it changes every seed's
+    /// trace.
+    fn gen_ref(&mut self, spec: &WorkloadSpec, regions: &Regions) -> MemRef {
+        let rng = &mut self.rng;
+        let gap = rng.below(2 * spec.mean_gap as u64 + 1) as u32;
+        if rng.chance(spec.ifetch_fraction) {
+            return MemRef {
+                line: LineAddr::new(self.code_base + rng.below(regions.code)),
+                kind: AccessKind::IFetch,
+                gap_instructions: gap,
+                dependent: false,
+            };
+        }
+        let (line, shared_ref) = if rng.chance(spec.shared_fraction) {
+            let off = match &regions.zipf {
+                Some(z) => z.sample(rng),
+                None => rng.below(regions.shared),
+            };
+            (LineAddr::new(SHARED_BASE + off), true)
+        } else {
+            (
+                LineAddr::new(self.priv_base + rng.below(regions.private)),
+                false,
+            )
+        };
+        // Writes to the shared region are rarer than the overall write
+        // mix (read-mostly sharing, Fig. 4).
+        let wf = if shared_ref {
+            spec.write_fraction * 0.4
+        } else {
+            spec.write_fraction
+        };
+        MemRef {
+            line,
+            kind: if rng.chance(wf) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            gap_instructions: gap,
+            dependent: rng.chance(spec.dependent_fraction),
+        }
+    }
+}
+
+/// The lazy synthetic generator: a [`TraceSource`] producing the same
+/// per-core streams as [`WorkloadSpec::generate`] one reference at a
+/// time, so a sweep point never materializes its trace. Each core owns
+/// an independent RNG cursor; the Zipf lookup table is shared.
+#[derive(Clone, Debug)]
+pub struct SyntheticTrace {
+    spec: WorkloadSpec,
+    regions: Regions,
+    cursors: Vec<CoreCursor>,
+    remaining: Vec<usize>,
+}
+
+impl SyntheticTrace {
+    /// Positions a fresh generator at the start of every core's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `trace:file=` replay specs (no synthetic generator).
+    pub fn new(spec: &WorkloadSpec, cores: usize, scale: u64, seed: u64) -> Self {
+        assert!(
+            spec.trace_file.is_none(),
+            "trace-backed workload '{}' streams from file; use WorkloadSpec::source",
+            spec.name
+        );
+        SyntheticTrace {
+            regions: Regions::of(spec, scale),
+            cursors: (0..cores).map(|c| CoreCursor::new(c, seed)).collect(),
+            remaining: vec![spec.refs_per_core; cores],
+            spec: spec.clone(),
+        }
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next(&mut self, core: usize) -> Option<MemRef> {
+        let remaining = self.remaining.get_mut(core)?;
+        if *remaining == 0 {
+            return None;
+        }
+        *remaining -= 1;
+        Some(self.cursors[core].gen_ref(&self.spec, &self.regions))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.spec.refs_per_core as u64 * self.cursors.len() as u64)
     }
 }
 
@@ -736,6 +957,29 @@ mod tests {
             WorkloadSpec::split_list("uniform-private,refs=500"),
             Err(ConfigError::BadWorkloadSpec { .. })
         ));
+    }
+
+    #[test]
+    fn trace_replay_specs_split_and_parse_alongside_customs() {
+        let items = WorkloadSpec::split_list(
+            "zipf:theta=0.9,footprint=4x,trace:file=caps/a.silotrace,code-heavy",
+        )
+        .expect("split");
+        assert_eq!(
+            items,
+            vec![
+                "zipf:theta=0.9,footprint=4x".to_string(),
+                "trace:file=caps/a.silotrace".into(),
+                "code-heavy".into(),
+            ]
+        );
+        let w = WorkloadSpec::parse("trace:file=caps/a.silotrace").expect("parses");
+        assert!(w.trace_file.is_some());
+        // Replay length comes from the file, so the refs default does
+        // not apply at parse time.
+        let w = WorkloadSpec::parse_with_default_refs("trace:file=caps/a.silotrace", Some(9_000))
+            .expect("parses");
+        assert_eq!(w.refs_per_core, 0, "resolved from the file at build time");
     }
 
     #[test]

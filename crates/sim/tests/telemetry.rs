@@ -174,22 +174,68 @@ fn json_telemetry_counters_track_coherence_events_per_system() {
 }
 
 #[test]
-fn warmup_larger_than_the_trace_yields_an_empty_window_not_full_run_stats() {
-    // Regression: a warmup window that overshoots the trace must still
-    // reset at end of run, so the measurement window is consistently
-    // empty — not silently identical to warmup 0.
-    let records = zipf_sim(9_000, None, 1).run_sequential();
-    for run in &records[0].runs {
-        assert_eq!(run.stats.instructions, 0, "{}", run.stats.system);
-        assert_eq!(run.stats.served.total(), 0);
-        assert_eq!(run.stats.llc_accesses, 0);
-        assert_eq!(run.stats.mesh_messages, 0);
+fn warmup_swallowing_every_reference_is_rejected_at_build_time() {
+    // Satellite regression: a measurement window that is provably empty
+    // (warmup >= total refs) used to run and report zero-IPC rows with
+    // NaN-prone speedups; the builder now rejects it with a typed
+    // error. 4 cores x 2000 refs = 8000 total.
+    fn build_err(warmup: u64) -> silo_sim::ConfigError {
+        Simulation::builder()
+            .systems(["SILO", "baseline"])
+            .workloads(["zipf-shared"])
+            .cores([4])
+            .refs_per_core(2_000)
+            .warmup_refs(warmup)
+            .build()
+            .expect_err("empty measurement window must not build")
     }
-    assert!(records[0].speedup().is_none(), "no measurable ratio");
-    // Exactly-at-the-end warmup behaves identically.
-    let exact = zipf_sim(8_000, None, 1).run_sequential();
-    for run in &exact[0].runs {
-        assert_eq!(run.stats.instructions, 0);
+    for warmup in [8_000, 9_000] {
+        match build_err(warmup) {
+            silo_sim::ConfigError::BadValue { what, reason, .. } => {
+                assert_eq!(what, "warmup");
+                assert!(reason.contains("8000"), "reason names the total: {reason}");
+            }
+            other => panic!("wanted BadValue, got {other:?}"),
+        }
+    }
+    // One reference past the window is measurable again.
+    zipf_sim(7_999, None, 1);
+}
+
+#[test]
+fn warmup_larger_than_the_trace_yields_an_empty_window_not_full_run_stats() {
+    // Regression at the run-loop level (the builder rejects this
+    // configuration up front, but library callers can still drive
+    // `run_metered` directly): a warmup window that overshoots the
+    // trace must still reset at end of run, so the measurement window
+    // is consistently empty — not silently identical to warmup 0.
+    use silo_sim::{run_metered, MeterConfig, SystemConfig, SystemRegistry, WorkloadSpec};
+    let cfg = SystemConfig::paper_16core().with_cores(4);
+    let spec = WorkloadSpec {
+        refs_per_core: 500,
+        ..WorkloadSpec::zipf_shared()
+    };
+    let traces = spec.generate(cfg.cores, cfg.scale, 11);
+    for warmup in [2_000, 9_000] {
+        let mut inst = SystemRegistry::builtin()
+            .get("SILO")
+            .expect("builtin")
+            .instantiate(&cfg);
+        let (stats, _) = run_metered(
+            &mut *inst.engine,
+            &mut inst.timing,
+            &cfg,
+            &spec.name,
+            &traces,
+            &MeterConfig {
+                warmup_refs: warmup,
+                epoch_refs: None,
+            },
+        );
+        assert_eq!(stats.instructions, 0, "warmup {warmup}");
+        assert_eq!(stats.served.total(), 0);
+        assert_eq!(stats.llc_accesses, 0);
+        assert_eq!(stats.mesh_messages, 0);
     }
 }
 

@@ -1,0 +1,226 @@
+//! Compact binary capture/replay of memory-reference traces.
+//!
+//! This crate defines the `.silotrace` on-disk format and the streaming
+//! [`TraceWriter`] / [`TraceReader`] APIs the simulator uses to record
+//! synthetic workloads once and replay them many times — across sweep
+//! points, systems, and sessions — without materializing the whole
+//! reference stream in memory. It depends only on `silo-types` and the
+//! standard library.
+//!
+//! # On-disk format (version 1, all integers little-endian)
+//!
+//! ```text
+//! header   := magic("SILOTRC\0") version:u32 cores:u32
+//!             refs_per_core:u64 seed:u64
+//!             name_len:u32 name_bytes provenance_len:u32 provenance_bytes
+//! records  := record* end_tag(0x06)
+//! record   := tag:varint gap:varint line_delta:zigzag-varint
+//! tag      := core << 3 | kind << 1 | dependent     (kind 3 is reserved)
+//! footer   := record_count:u64 checksum:u64
+//! ```
+//!
+//! * `kind` is 0 for instruction fetches, 1 for reads, 2 for writes; the
+//!   reserved value 3 with core 0 forms the end-of-records sentinel tag
+//!   `0x06`.
+//! * `line_delta` is the difference between this record's line address
+//!   and the previous record *of the same core*, zigzag-mapped so small
+//!   forward and backward strides encode in one or two bytes. The first
+//!   record of each core is a delta from zero.
+//! * `refs_per_core` in the header is a sizing hint (the writer's
+//!   declared per-core length); the authoritative count is the footer's
+//!   `record_count`, and `name` / `provenance` record where the trace
+//!   came from (workload name, generator seed, free-form origin).
+//! * `checksum` is 64-bit FNV-1a over every preceding byte of the file
+//!   — header, records, sentinel, and `record_count` — so any
+//!   truncation or corruption is detected by [`verify`].
+//!
+//! # Streaming
+//!
+//! Records are multiplexed into one stream by the core id carried in
+//! each tag. [`TraceWriter::write`] appends records in call order;
+//! recording round-robin across cores (one reference per core per turn,
+//! the order the simulation loop consumes them) lets [`TraceReader`]
+//! replay with O(cores) buffered records: its peak memory is the
+//! `BufReader` buffer plus a few records per core, independent of trace
+//! length. Replaying a trace with a consumption order that diverges
+//! from the recorded interleaving still works, but buffers the skipped
+//! records in between.
+
+mod reader;
+mod wire;
+mod writer;
+
+pub use reader::{read_header, read_traces, verify, verify_stream, TraceReader, TraceSummary};
+pub use writer::{write_traces, TraceWriter};
+
+use silo_types::MemRef;
+use std::fmt;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"SILOTRC\0";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// File extension conventionally used for traces.
+pub const EXTENSION: &str = "silotrace";
+
+/// The sentinel tag terminating the record stream: core 0 with the
+/// reserved kind value 3.
+pub(crate) const END_TAG: u64 = 0b110;
+
+/// Upper bound accepted for the header's name/provenance strings, so a
+/// corrupt length prefix cannot trigger a huge allocation.
+pub(crate) const MAX_STRING_LEN: u32 = 1 << 20;
+
+/// Upper bound accepted for the header's core count, so a corrupt
+/// field cannot trigger multi-gigabyte per-core allocations before the
+/// checksum gets a chance to reject the file.
+pub const MAX_CORES: u32 = 1 << 16;
+
+/// Trace metadata stored in the file header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Number of cores whose reference streams the trace multiplexes.
+    pub cores: usize,
+    /// Declared per-core reference count (a hint; the footer's record
+    /// count is authoritative).
+    pub refs_per_core: u64,
+    /// RNG seed of the generator that produced the trace (provenance;
+    /// zero when not applicable).
+    pub seed: u64,
+    /// Workload name the trace was captured from; replayed runs label
+    /// their result rows with it.
+    pub name: String,
+    /// Free-form provenance line (generator, scale, recording session).
+    pub provenance: String,
+}
+
+/// Everything that can go wrong reading or writing a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// The file does not start with the `.silotrace` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u32),
+    /// The file violates the format: truncated stream, reserved tag,
+    /// count mismatch, or checksum failure.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(msg) => write!(f, "{msg}"),
+            TraceError::BadMagic => write!(f, "not a .silotrace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (this reader speaks {VERSION})"
+                )
+            }
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Corrupt("unexpected end of file".into())
+        } else {
+            TraceError::Io(e.to_string())
+        }
+    }
+}
+
+/// A per-core stream of memory references the simulation loop can pull
+/// from one record at a time.
+///
+/// Implementations are *fused per core*: once `next(core)` returns
+/// `None` for a core it keeps returning `None` for that core. The run
+/// loop interleaves cores round-robin and stops once every core is
+/// exhausted.
+pub trait TraceSource {
+    /// The next reference of `core`'s stream, or `None` when that
+    /// core's stream is exhausted (or `core` is out of range).
+    fn next(&mut self, core: usize) -> Option<MemRef>;
+
+    /// Total number of references across all cores, when known up
+    /// front (used for sizing hints only, never for control flow).
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A [`TraceSource`] over borrowed, fully materialized per-core traces
+/// — the adapter between the legacy `&[Vec<MemRef>]` APIs and the
+/// streaming run loop.
+#[derive(Clone, Debug)]
+pub struct SliceTrace<'a> {
+    traces: &'a [Vec<MemRef>],
+    pos: Vec<usize>,
+}
+
+impl<'a> SliceTrace<'a> {
+    /// Wraps per-core traces; `traces[c]` is core `c`'s stream.
+    pub fn new(traces: &'a [Vec<MemRef>]) -> Self {
+        SliceTrace {
+            traces,
+            pos: vec![0; traces.len()],
+        }
+    }
+}
+
+impl TraceSource for SliceTrace<'_> {
+    fn next(&mut self, core: usize) -> Option<MemRef> {
+        let r = *self.traces.get(core)?.get(*self.pos.get(core)?)?;
+        self.pos[core] += 1;
+        Some(r)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.traces.iter().map(|t| t.len() as u64).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_types::LineAddr;
+
+    #[test]
+    fn slice_trace_streams_each_core_in_order_and_fuses() {
+        let traces = vec![
+            vec![
+                MemRef::read(LineAddr::new(1)),
+                MemRef::read(LineAddr::new(2)),
+            ],
+            vec![MemRef::write(LineAddr::new(9))],
+        ];
+        let mut s = SliceTrace::new(&traces);
+        assert_eq!(s.len_hint(), Some(3));
+        assert_eq!(s.next(0), Some(traces[0][0]));
+        assert_eq!(s.next(1), Some(traces[1][0]));
+        assert_eq!(s.next(1), None);
+        assert_eq!(s.next(1), None, "exhausted cores stay exhausted");
+        assert_eq!(s.next(0), Some(traces[0][1]));
+        assert_eq!(s.next(0), None);
+        assert_eq!(s.next(7), None, "out-of-range cores yield nothing");
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(TraceError::BadMagic.to_string().contains("magic"));
+        assert!(TraceError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(TraceError::Corrupt("checksum mismatch".into())
+            .to_string()
+            .contains("checksum"));
+        let eof = std::io::Error::from(std::io::ErrorKind::UnexpectedEof);
+        assert!(matches!(TraceError::from(eof), TraceError::Corrupt(_)));
+    }
+}
