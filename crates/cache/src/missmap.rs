@@ -11,8 +11,8 @@
 //! after which lines of that page conservatively predict "present"
 //! (a wrong "present" costs a DRAM access, never correctness).
 
+use silo_types::hash::{fx_map_with_capacity, FxHashMap};
 use silo_types::{LineAddr, LINE_SIZE};
-use std::collections::HashMap;
 
 /// Page-granular line-presence map.
 #[derive(Clone, Debug)]
@@ -21,7 +21,7 @@ pub struct MissMap {
     lines_per_page: u64,
     capacity_pages: Option<usize>,
     /// page -> (presence bitmap chunks, recency stamp).
-    pages: HashMap<u64, (Vec<u64>, u64)>,
+    pages: FxHashMap<u64, (Vec<u64>, u64)>,
     tick: u64,
     predicted_misses: u64,
     predicted_present: u64,
@@ -56,7 +56,9 @@ impl MissMap {
             page_bytes,
             lines_per_page: (page_bytes / LINE_SIZE) as u64,
             capacity_pages,
-            pages: HashMap::new(),
+            // Bounded maps hold at most `capacity_pages` entries; size
+            // them once so eviction churn never rehashes.
+            pages: fx_map_with_capacity(capacity_pages.unwrap_or(0)),
             tick: 0,
             predicted_misses: 0,
             predicted_present: 0,

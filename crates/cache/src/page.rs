@@ -7,8 +7,14 @@
 //! perfect miss prediction, which the simulator models by skipping the
 //! DRAM access latency on a predicted miss.
 
+use silo_types::hash::{fx_map_with_capacity, FxHashMap};
 use silo_types::{ByteSize, LineAddr};
-use std::collections::HashMap;
+
+/// Upper bound on the frame buckets reserved up front; full-capacity
+/// reservation would cost gigabytes for the 8 GB configuration, while a
+/// bounded head start keeps warmup rehash-free (see
+/// `silo_cache::set_assoc` for the same trade-off).
+const PRESIZE_FRAMES: u64 = 1 << 12;
 
 /// A direct-mapped, page-granular cache.
 ///
@@ -28,7 +34,7 @@ pub struct PageCache {
     page_bytes: usize,
     n_frames: u64,
     /// frame index -> resident page tag.
-    frames: HashMap<u64, u64>,
+    frames: FxHashMap<u64, u64>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -52,7 +58,7 @@ impl PageCache {
         PageCache {
             page_bytes,
             n_frames,
-            frames: HashMap::new(),
+            frames: fx_map_with_capacity(n_frames.min(PRESIZE_FRAMES) as usize),
             hits: 0,
             misses: 0,
             evictions: 0,

@@ -5,8 +5,18 @@
 //! multi-hundred-MB caches cost memory proportional to the lines actually
 //! touched, which is what makes full-capacity vault simulation cheap.
 
+use silo_types::hash::{fx_map_with_capacity, FxHashMap};
 use silo_types::{ByteSize, LineAddr};
-use std::collections::HashMap;
+
+/// Upper bound on the number of set buckets reserved up front.
+///
+/// Pre-sizing avoids rehash-and-move cycles while a run warms the
+/// cache, but a full-capacity reservation would defeat the sparse
+/// design (a scale-1 vault has millions of sets, almost all untouched).
+/// 4096 buckets covers every SRAM-sized array completely and gives the
+/// large DRAM-vault tables a rehash-free head start at negligible
+/// memory cost.
+const PRESIZE_SETS: u64 = 1 << 12;
 
 /// Replacement policy for a set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -35,6 +45,38 @@ struct Way<P> {
     stamp: u64,
 }
 
+/// Storage-dense arrays up to this many lines (`sets * ways`) skip the
+/// hash map for a flat slot vector indexed by set: every probe becomes
+/// an offset instead of a hash + bucket walk. 64 Ki lines covers every
+/// SRAM array and the scale-64 DRAM vaults at a few MB apiece, while
+/// full-scale vaults (millions of lines) stay sparse.
+const DENSE_MAX_LINES: u64 = 1 << 16;
+
+/// Backing store, specialized by geometry.
+///
+/// * `Dense` — flat `sets * ways` slot array, set `s` at
+///   `[s*ways, (s+1)*ways)`. Used for small arrays (every probe on the
+///   simulated LLC path hits one of these, so this is the hot layout).
+///   Bit-compatible with the sparse layouts because recency stamps are
+///   globally unique, so the LRU victim is identified by stamp value
+///   alone, never by slot order; it is therefore not used for
+///   multi-way `Random` arrays, whose victim pick is order-sensitive.
+/// * `Direct` — sparse direct-mapped (`ways == 1`, e.g. a full-scale
+///   SILO vault, Sec. V-A): the single way inline in the map entry.
+/// * `Assoc` — sparse set-associative: lazily allocated way lists.
+#[derive(Clone, Debug)]
+enum Table<P> {
+    /// Direct-mapped dense: one `(line, payload)` slot per set, no
+    /// recency stamp — with a single way the victim is always the sole
+    /// resident line, so recency is unobservable and the slot shrinks
+    /// to half a `Way`. This is the layout of every scale-64 vault, the
+    /// hottest array in a SILO run.
+    DenseDirect(Box<[Option<(LineAddr, P)>]>),
+    Dense(Box<[Option<Way<P>>]>),
+    Direct(FxHashMap<u64, Way<P>>),
+    Assoc(FxHashMap<u64, Vec<Way<P>>>),
+}
+
 /// A set-associative cache keyed by [`LineAddr`] with payload `P`.
 ///
 /// With `ways == 1` this degenerates to the direct-mapped organization
@@ -57,7 +99,7 @@ pub struct SetAssocCache<P> {
     sets: u64,
     ways: usize,
     policy: ReplacementPolicy,
-    table: HashMap<u64, Vec<Way<P>>>,
+    table: Table<P>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -73,11 +115,30 @@ impl<P> SetAssocCache<P> {
     pub fn new(sets: u64, ways: usize, policy: ReplacementPolicy) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "need at least one way");
+        let buckets = sets.min(PRESIZE_SETS) as usize;
+        let lines = sets.saturating_mul(ways as u64);
+        let table = if lines <= DENSE_MAX_LINES && ways == 1 {
+            Table::DenseDirect(
+                std::iter::repeat_with(|| None)
+                    .take(lines as usize)
+                    .collect(),
+            )
+        } else if lines <= DENSE_MAX_LINES && policy == ReplacementPolicy::Lru {
+            Table::Dense(
+                std::iter::repeat_with(|| None)
+                    .take(lines as usize)
+                    .collect(),
+            )
+        } else if ways == 1 {
+            Table::Direct(fx_map_with_capacity(buckets))
+        } else {
+            Table::Assoc(fx_map_with_capacity(buckets))
+        };
         SetAssocCache {
             sets,
             ways,
             policy,
-            table: HashMap::new(),
+            table,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -140,12 +201,22 @@ impl<P> SetAssocCache<P> {
 
     /// Lines currently resident.
     pub fn len(&self) -> usize {
-        self.table.values().map(Vec::len).sum()
+        match &self.table {
+            Table::DenseDirect(slots) => slots.iter().filter(|s| s.is_some()).count(),
+            Table::Dense(slots) => slots.iter().filter(|s| s.is_some()).count(),
+            Table::Direct(m) => m.len(),
+            Table::Assoc(m) => m.values().map(Vec::len).sum(),
+        }
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        match &self.table {
+            Table::DenseDirect(slots) => slots.iter().all(Option::is_none),
+            Table::Dense(slots) => slots.iter().all(Option::is_none),
+            Table::Direct(m) => m.is_empty(),
+            Table::Assoc(m) => m.is_empty(),
+        }
     }
 
     /// Set index of a line (low-order bits, as in a real indexed array).
@@ -154,48 +225,125 @@ impl<P> SetAssocCache<P> {
         line.as_u64() & (self.sets - 1)
     }
 
+    /// Hints the host CPU to pull the line's set into cache ahead of an
+    /// upcoming [`get`](Self::get)/[`insert`](Self::insert). Purely a
+    /// performance hint: recency, counters, and contents are untouched,
+    /// so issuing it (or not) can never change simulation results. The
+    /// run loop issues these one round-robin turn ahead, hiding the
+    /// host-memory latency of the multi-MB dense vault arrays. Sparse
+    /// tables hash-probe, so they have no slot address to hint and the
+    /// call is a no-op (as on non-x86 hosts).
+    #[inline]
+    pub fn prefetch(&self, line: LineAddr) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let set = self.set_of(line) as usize;
+            let ptr = match &self.table {
+                Table::DenseDirect(slots) => std::ptr::addr_of!(slots[set]).cast::<i8>(),
+                Table::Dense(slots) => std::ptr::addr_of!(slots[set * self.ways]).cast::<i8>(),
+                Table::Direct(_) | Table::Assoc(_) => return,
+            };
+            // SAFETY: the slot index is in bounds by construction, and a
+            // prefetch hint cannot fault or write.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
+    }
+
     /// Looks up a line, updating recency on hit. Counts hit/miss stats.
+    #[inline]
     pub fn get(&mut self, line: LineAddr) -> Option<&mut P> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(line);
-        match self.table.get_mut(&set) {
-            Some(ways) => match ways.iter_mut().find(|w| w.line == line) {
-                Some(w) => {
+        let ways_n = self.ways;
+        let hit = match &mut self.table {
+            Table::DenseDirect(slots) => match &mut slots[set as usize] {
+                Some((l, p)) if *l == line => Some(p),
+                _ => None,
+            },
+            Table::Dense(slots) => slots[set as usize * ways_n..(set as usize + 1) * ways_n]
+                .iter_mut()
+                .filter_map(Option::as_mut)
+                .find(|w| w.line == line)
+                .map(|w| {
                     w.stamp = tick;
-                    self.hits += 1;
+                    &mut w.payload
+                }),
+            Table::Direct(m) => match m.get_mut(&set) {
+                Some(w) if w.line == line => {
+                    w.stamp = tick;
                     Some(&mut w.payload)
                 }
-                None => {
-                    self.misses += 1;
-                    None
-                }
+                _ => None,
             },
-            None => {
-                self.misses += 1;
-                None
-            }
+            Table::Assoc(m) => match m.get_mut(&set) {
+                Some(ways) => ways.iter_mut().find(|w| w.line == line).map(|w| {
+                    w.stamp = tick;
+                    &mut w.payload
+                }),
+                None => None,
+            },
+        };
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
         }
+        hit
     }
 
     /// Looks up a line without touching recency or statistics.
     pub fn peek(&self, line: LineAddr) -> Option<&P> {
         let set = self.set_of(line);
-        self.table
-            .get(&set)?
-            .iter()
-            .find(|w| w.line == line)
-            .map(|w| &w.payload)
+        match &self.table {
+            Table::DenseDirect(slots) => match &slots[set as usize] {
+                Some((l, p)) if *l == line => Some(p),
+                _ => None,
+            },
+            Table::Dense(slots) => slots[set as usize * self.ways..(set as usize + 1) * self.ways]
+                .iter()
+                .filter_map(Option::as_ref)
+                .find(|w| w.line == line)
+                .map(|w| &w.payload),
+            Table::Direct(m) => match m.get(&set) {
+                Some(w) if w.line == line => Some(&w.payload),
+                _ => None,
+            },
+            Table::Assoc(m) => m
+                .get(&set)?
+                .iter()
+                .find(|w| w.line == line)
+                .map(|w| &w.payload),
+        }
     }
 
     /// Mutable lookup without touching recency or statistics.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut P> {
         let set = self.set_of(line);
-        self.table
-            .get_mut(&set)?
-            .iter_mut()
-            .find(|w| w.line == line)
-            .map(|w| &mut w.payload)
+        match &mut self.table {
+            Table::DenseDirect(slots) => match &mut slots[set as usize] {
+                Some((l, p)) if *l == line => Some(p),
+                _ => None,
+            },
+            Table::Dense(slots) => slots[set as usize * self.ways..(set as usize + 1) * self.ways]
+                .iter_mut()
+                .filter_map(Option::as_mut)
+                .find(|w| w.line == line)
+                .map(|w| &mut w.payload),
+            Table::Direct(m) => match m.get_mut(&set) {
+                Some(w) if w.line == line => Some(&mut w.payload),
+                _ => None,
+            },
+            Table::Assoc(m) => m
+                .get_mut(&set)?
+                .iter_mut()
+                .find(|w| w.line == line)
+                .map(|w| &mut w.payload),
+        }
     }
 
     /// True when the line is resident.
@@ -211,65 +359,186 @@ impl<P> SetAssocCache<P> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(line);
-        let ways = self.table.entry(set).or_default();
+        let ways_n = self.ways;
+        let evicted = match &mut self.table {
+            Table::DenseDirect(slots) => {
+                let slot = &mut slots[set as usize];
+                match slot {
+                    Some((l, p)) if *l == line => {
+                        *p = payload;
+                        return None;
+                    }
+                    Some(_) => {
+                        let old = slot.replace((line, payload)).expect("slot resident");
+                        Some(Way {
+                            line: old.0,
+                            payload: old.1,
+                            stamp: 0,
+                        })
+                    }
+                    None => {
+                        *slot = Some((line, payload));
+                        return None;
+                    }
+                }
+            }
+            Table::Dense(slots) => {
+                let new_way = Way {
+                    line,
+                    payload,
+                    stamp: tick,
+                };
+                let set_slots = &mut slots[set as usize * ways_n..(set as usize + 1) * ways_n];
+                if let Some(w) = set_slots
+                    .iter_mut()
+                    .filter_map(Option::as_mut)
+                    .find(|w| w.line == line)
+                {
+                    *w = new_way;
+                    return None;
+                }
+                if let Some(empty) = set_slots.iter_mut().find(|s| s.is_none()) {
+                    *empty = Some(new_way);
+                    return None;
+                }
+                // Set full: every slot resident.
+                let victim_idx = match self.policy {
+                    ReplacementPolicy::Lru => set_slots
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.as_ref().expect("set is full").stamp)
+                        .map(|(i, _)| i)
+                        .expect("set is full, so non-empty"),
+                    // Dense + Random only exists direct-mapped (see
+                    // `Table` docs), where any index maps to slot 0.
+                    ReplacementPolicy::Random => (line.scramble() ^ tick) as usize % ways_n,
+                };
+                set_slots[victim_idx].replace(new_way)
+            }
+            Table::Direct(m) => {
+                let new_way = Way {
+                    line,
+                    payload,
+                    stamp: tick,
+                };
+                match m.entry(set) {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        let w = o.get_mut();
+                        if w.line == line {
+                            *w = new_way;
+                            return None;
+                        }
+                        // The sole way is the victim under either policy.
+                        Some(std::mem::replace(w, new_way))
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(new_way);
+                        return None;
+                    }
+                }
+            }
+            Table::Assoc(m) => {
+                let new_way = Way {
+                    line,
+                    payload,
+                    stamp: tick,
+                };
+                let ways = m.entry(set).or_default();
 
-        if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
-            w.payload = payload;
-            w.stamp = tick;
-            return None;
-        }
+                if let Some(w) = ways.iter_mut().find(|w| w.line == line) {
+                    *w = new_way;
+                    return None;
+                }
 
-        if ways.len() < self.ways {
-            ways.push(Way {
-                line,
-                payload,
-                stamp: tick,
-            });
-            return None;
-        }
+                if ways.len() < self.ways {
+                    ways.push(new_way);
+                    return None;
+                }
 
-        let victim_idx = match self.policy {
-            ReplacementPolicy::Lru => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .map(|(i, _)| i)
-                .expect("set is full, so non-empty"),
-            ReplacementPolicy::Random => (line.scramble() ^ tick) as usize % ways.len(),
+                let victim_idx = match self.policy {
+                    ReplacementPolicy::Lru => ways
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.stamp)
+                        .map(|(i, _)| i)
+                        .expect("set is full, so non-empty"),
+                    ReplacementPolicy::Random => (line.scramble() ^ tick) as usize % ways.len(),
+                };
+                Some(std::mem::replace(&mut ways[victim_idx], new_way))
+            }
         };
-        let old = std::mem::replace(
-            &mut ways[victim_idx],
-            Way {
-                line,
-                payload,
-                stamp: tick,
-            },
-        );
-        self.evictions += 1;
-        Some(EvictionVictim {
-            line: old.line,
-            payload: old.payload,
+
+        evicted.map(|old| {
+            self.evictions += 1;
+            EvictionVictim {
+                line: old.line,
+                payload: old.payload,
+            }
         })
     }
 
     /// Removes a line, returning its payload.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<P> {
         let set = self.set_of(line);
-        let ways = self.table.get_mut(&set)?;
-        let idx = ways.iter().position(|w| w.line == line)?;
-        let w = ways.swap_remove(idx);
-        if ways.is_empty() {
-            self.table.remove(&set);
+        match &mut self.table {
+            Table::DenseDirect(slots) => {
+                let slot = &mut slots[set as usize];
+                if slot.as_ref().is_some_and(|(l, _)| *l == line) {
+                    slot.take().map(|(_, p)| p)
+                } else {
+                    None
+                }
+            }
+            Table::Dense(slots) => slots[set as usize * self.ways..(set as usize + 1) * self.ways]
+                .iter_mut()
+                .find(|s| s.as_ref().is_some_and(|w| w.line == line))
+                .and_then(Option::take)
+                .map(|w| w.payload),
+            Table::Direct(m) => {
+                if m.get(&set).is_some_and(|w| w.line == line) {
+                    m.remove(&set).map(|w| w.payload)
+                } else {
+                    None
+                }
+            }
+            Table::Assoc(m) => {
+                let ways = m.get_mut(&set)?;
+                let idx = ways.iter().position(|w| w.line == line)?;
+                let w = ways.swap_remove(idx);
+                if ways.is_empty() {
+                    m.remove(&set);
+                }
+                Some(w.payload)
+            }
         }
-        Some(w.payload)
     }
 
     /// Iterates over all resident (line, payload) pairs in arbitrary
     /// order; used by invariant checks and warm-state inspection.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &P)> {
-        self.table
-            .values()
-            .flat_map(|ways| ways.iter().map(|w| (w.line, &w.payload)))
+        let (dense_direct, dense, direct, assoc) = match &self.table {
+            Table::DenseDirect(s) => (Some(s), None, None, None),
+            Table::Dense(s) => (None, Some(s), None, None),
+            Table::Direct(m) => (None, None, Some(m), None),
+            Table::Assoc(m) => (None, None, None, Some(m)),
+        };
+        dense_direct
+            .into_iter()
+            .flat_map(|s| s.iter().flatten().map(|(l, p)| (*l, p)))
+            .chain(
+                dense
+                    .into_iter()
+                    .flat_map(|s| s.iter().flatten().map(|w| (w.line, &w.payload))),
+            )
+            .chain(
+                direct
+                    .into_iter()
+                    .flat_map(|m| m.values().map(|w| (w.line, &w.payload))),
+            )
+            .chain(assoc.into_iter().flat_map(|m| {
+                m.values()
+                    .flat_map(|ways| ways.iter().map(|w| (w.line, &w.payload)))
+            }))
     }
 
     /// Hits recorded by [`get`](Self::get).
@@ -297,7 +566,12 @@ impl<P> SetAssocCache<P> {
 
     /// Drops all contents and statistics.
     pub fn clear(&mut self) {
-        self.table.clear();
+        match &mut self.table {
+            Table::DenseDirect(slots) => slots.iter_mut().for_each(|s| *s = None),
+            Table::Dense(slots) => slots.iter_mut().for_each(|s| *s = None),
+            Table::Direct(m) => m.clear(),
+            Table::Assoc(m) => m.clear(),
+        }
         self.tick = 0;
         self.reset_stats();
     }
@@ -456,5 +730,80 @@ mod tests {
         *c.peek_mut(LineAddr::new(1)).unwrap() = 5;
         assert_eq!(c.peek(LineAddr::new(1)), Some(&5));
         assert!(c.peek_mut(LineAddr::new(2)).is_none());
+    }
+
+    /// Sets × ways beyond [`DENSE_MAX_LINES`], forcing the sparse
+    /// direct-mapped layout (a full-scale SILO vault).
+    fn sparse_direct() -> SetAssocCache<u32> {
+        SetAssocCache::new(DENSE_MAX_LINES * 2, 1, ReplacementPolicy::Lru)
+    }
+
+    /// Sets × ways beyond [`DENSE_MAX_LINES`] at 4 ways, forcing the
+    /// sparse set-associative layout.
+    fn sparse_assoc() -> SetAssocCache<u32> {
+        SetAssocCache::new(DENSE_MAX_LINES / 2, 4, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn sparse_direct_mapped_conflicts_like_dense() {
+        let mut c = sparse_direct();
+        assert!(
+            matches!(c.table, Table::Direct(_)),
+            "layout above the dense bound"
+        );
+        let sets = c.sets();
+        c.insert(LineAddr::new(1), 10);
+        assert_eq!(c.get(LineAddr::new(1)), Some(&mut 10));
+        // The conflicting line one stride away evicts the resident one.
+        let v = c
+            .insert(LineAddr::new(1 + sets), 20)
+            .expect("conflict eviction");
+        assert_eq!(v.line, LineAddr::new(1));
+        assert_eq!(v.payload, 10);
+        assert!(!c.contains(LineAddr::new(1)));
+        assert_eq!(c.invalidate(LineAddr::new(1 + sets)), Some(20));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sparse_assoc_evicts_least_recent() {
+        let mut c = sparse_assoc();
+        assert!(
+            matches!(c.table, Table::Assoc(_)),
+            "layout above the dense bound"
+        );
+        let sets = c.sets();
+        // Fill set 0's four ways, touch line 0 so `sets` becomes LRU.
+        for i in 0..4 {
+            assert!(c.insert(LineAddr::new(i * sets), i as u32).is_none());
+        }
+        c.get(LineAddr::new(0));
+        let v = c.insert(LineAddr::new(4 * sets), 4).expect("eviction");
+        assert_eq!(v.line, LineAddr::new(sets));
+        assert!(c.contains(LineAddr::new(0)));
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.evictions(), 1);
+        let mut lines: Vec<u64> = c.iter().map(|(l, _)| l.as_u64()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 2 * sets, 3 * sets, 4 * sets]);
+    }
+
+    #[test]
+    fn prefetch_is_inert_on_every_layout() {
+        let mut caches = [
+            SetAssocCache::new(4, 1, ReplacementPolicy::Lru), // DenseDirect
+            SetAssocCache::new(4, 2, ReplacementPolicy::Lru), // Dense
+            sparse_direct(),                                  // Direct
+            sparse_assoc(),                                   // Assoc
+        ];
+        for c in &mut caches {
+            c.insert(LineAddr::new(3), 1);
+            c.prefetch(LineAddr::new(3));
+            c.prefetch(LineAddr::new(1_000_003));
+            assert_eq!(c.hits(), 0, "a prefetch hint records no probe");
+            assert_eq!(c.misses(), 0);
+            assert_eq!(c.len(), 1, "a prefetch hint moves no lines");
+            assert!(c.contains(LineAddr::new(3)));
+        }
     }
 }

@@ -13,8 +13,12 @@
 //! home node so the simulator charges the DRAM accesses.
 
 use crate::state::State;
+use silo_types::hash::{fx_map_with_capacity, FxHashMap};
 use silo_types::LineAddr;
-use std::collections::HashMap;
+
+/// Buckets reserved up front: enough to track the hot working set of a
+/// scaled run without rehashing, small enough to be free at rest.
+const PRESIZE_LINES: usize = 1 << 12;
 
 /// Compact result of one directory lookup: the information the protocol
 /// engines act on, without materializing the per-node state vector.
@@ -27,12 +31,156 @@ pub struct DirView {
     pub owner: Option<(usize, State)>,
 }
 
+/// One tracked line: the per-node states packed 4 bits each (the paper
+/// stores 3 bits per way, Fig. 9 — we round up to a nibble for cheap
+/// shifts), plus the holder mask and owner-like node cached so the hot
+/// [`DuplicateTagDirectory::lookup_view`] path is O(1) instead of a
+/// scan over a heap-allocated state vector.
+///
+/// `mask` is maintained unconditionally in `set_state` and therefore
+/// always equals the valid bits of `states`. `owner` is maintained under
+/// the single-writer invariant (at most one owner-like node); the
+/// inspection APIs that must work even on deliberately broken state
+/// ([`DuplicateTagDirectory::owner`],
+/// [`DuplicateTagDirectory::check_invariants`]) scan `states` instead.
+#[derive(Clone, Copy, Debug)]
+struct LargeEntry {
+    /// 4 bits per node, node `n` at bits `4*(n%16)` of word `n/16`;
+    /// zeroed storage decodes to all-I.
+    states: [u64; 4],
+    /// Bitmask of nodes whose packed state is valid.
+    mask: u64,
+    /// The owner-like node and its state, under the protocol invariant.
+    owner: Option<(u8, State)>,
+}
+
+/// `Small::owner` encoding: no owner.
+const NO_OWNER: u16 = u16::MAX;
+
+#[derive(Clone, Debug)]
+enum Entry {
+    /// Up to 16 nodes (the paper's machine is 16-core): the whole state
+    /// vector in one word, 16 bytes per entry. Directory entries are
+    /// the largest metadata population of a run, so halving them keeps
+    /// far more of the map in host cache.
+    Small {
+        /// 4 bits per node, node `n` at bits `4n`.
+        states: u64,
+        /// Bitmask of nodes whose packed state is valid.
+        mask: u16,
+        /// `state.to_bits() << 8 | node`, or [`NO_OWNER`].
+        owner: u16,
+    },
+    /// 17–64 nodes, boxed to keep the common case small.
+    Large(Box<LargeEntry>),
+}
+
+impl Entry {
+    fn empty(n_nodes: usize) -> Entry {
+        if n_nodes <= 16 {
+            Entry::Small {
+                states: 0,
+                mask: 0,
+                owner: NO_OWNER,
+            }
+        } else {
+            Entry::Large(Box::new(LargeEntry {
+                states: [0; 4],
+                mask: 0,
+                owner: None,
+            }))
+        }
+    }
+
+    #[inline]
+    fn get(&self, node: usize) -> State {
+        match self {
+            Entry::Small { states, .. } => State::from_bits(((states >> (node * 4)) & 0xF) as u8),
+            Entry::Large(e) => {
+                State::from_bits(((e.states[node >> 4] >> ((node & 15) * 4)) & 0xF) as u8)
+            }
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, node: usize, s: State) {
+        match self {
+            Entry::Small { states, .. } => {
+                let shift = node * 4;
+                *states = (*states & !(0xF << shift)) | (u64::from(s.to_bits()) << shift);
+            }
+            Entry::Large(e) => {
+                let shift = (node & 15) * 4;
+                let word = &mut e.states[node >> 4];
+                *word = (*word & !(0xF << shift)) | (u64::from(s.to_bits()) << shift);
+            }
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        match self {
+            Entry::Small { mask, .. } => u64::from(*mask),
+            Entry::Large(e) => e.mask,
+        }
+    }
+
+    #[inline]
+    fn set_mask_bit(&mut self, node: usize, on: bool) {
+        match self {
+            Entry::Small { mask, .. } => {
+                if on {
+                    *mask |= 1 << node;
+                } else {
+                    *mask &= !(1 << node);
+                }
+            }
+            Entry::Large(e) => {
+                if on {
+                    e.mask |= 1 << node;
+                } else {
+                    e.mask &= !(1 << node);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn owner(&self) -> Option<(usize, State)> {
+        match self {
+            Entry::Small { owner, .. } => (*owner != NO_OWNER).then(|| {
+                (
+                    (owner & 0xFF) as usize,
+                    State::from_bits((owner >> 8) as u8),
+                )
+            }),
+            Entry::Large(e) => e.owner.map(|(n, s)| (n as usize, s)),
+        }
+    }
+
+    #[inline]
+    fn set_owner(&mut self, new: Option<(u8, State)>) {
+        match self {
+            Entry::Small { owner, .. } => {
+                *owner = new.map_or(NO_OWNER, |(n, s)| {
+                    u16::from(s.to_bits()) << 8 | u16::from(n)
+                });
+            }
+            Entry::Large(e) => e.owner = new,
+        }
+    }
+
+    fn unpack(&self, n_nodes: usize) -> Vec<State> {
+        (0..n_nodes).map(|n| self.get(n)).collect()
+    }
+}
+
 /// The functional duplicate-tag directory: per line, one coherence state
 /// per node (way position = node id).
 #[derive(Clone, Debug)]
 pub struct DuplicateTagDirectory {
     n_nodes: usize,
-    entries: HashMap<LineAddr, Vec<State>>,
+    entries: FxHashMap<LineAddr, Entry>,
     lookups: u64,
     updates: u64,
 }
@@ -50,7 +198,7 @@ impl DuplicateTagDirectory {
         );
         DuplicateTagDirectory {
             n_nodes,
-            entries: HashMap::new(),
+            entries: fx_map_with_capacity(PRESIZE_LINES),
             lookups: 0,
             updates: 0,
         }
@@ -63,9 +211,7 @@ impl DuplicateTagDirectory {
 
     /// State of `line` at `node`.
     pub fn state_of(&self, line: LineAddr, node: usize) -> State {
-        self.entries
-            .get(&line)
-            .map_or(State::I, |states| states[node])
+        self.entries.get(&line).map_or(State::I, |e| e.get(node))
     }
 
     /// Records a directory lookup (sharer scan) and returns the full
@@ -74,14 +220,14 @@ impl DuplicateTagDirectory {
         self.lookups += 1;
         self.entries
             .get(&line)
-            .cloned()
-            .unwrap_or_else(|| vec![State::I; self.n_nodes])
+            .map_or_else(|| vec![State::I; self.n_nodes], |e| e.unpack(self.n_nodes))
     }
 
     /// Records a directory lookup and returns the compact per-line view
-    /// the protocol engines act on, without allocating: the holder
-    /// bitmask and the owner-like node with its state (at most one, by
-    /// the single-writer invariant).
+    /// the protocol engines act on: the holder bitmask and the owner-like
+    /// node with its state (at most one, by the single-writer invariant).
+    /// O(1): both fields are maintained incrementally by
+    /// [`DuplicateTagDirectory::set_state`].
     pub fn lookup_view(&mut self, line: LineAddr) -> DirView {
         self.lookups += 1;
         match self.entries.get(&line) {
@@ -89,21 +235,10 @@ impl DuplicateTagDirectory {
                 mask: 0,
                 owner: None,
             },
-            Some(states) => {
-                let mut view = DirView {
-                    mask: 0,
-                    owner: None,
-                };
-                for (i, s) in states.iter().enumerate() {
-                    if s.is_valid() {
-                        view.mask |= 1u64 << i;
-                    }
-                    if s.is_ownerlike() {
-                        view.owner = Some((i, *s));
-                    }
-                }
-                view
-            }
+            Some(e) => DirView {
+                mask: e.mask(),
+                owner: e.owner(),
+            },
         }
     }
 
@@ -113,19 +248,29 @@ impl DuplicateTagDirectory {
         assert!(node < self.n_nodes, "node {node} out of range");
         self.updates += 1;
         match self.entries.get_mut(&line) {
-            Some(states) => {
-                let prev = states[node];
-                states[node] = state;
-                if states.iter().all(|s| !s.is_valid()) {
+            Some(e) => {
+                let prev = e.get(node);
+                e.set(node, state);
+                e.set_mask_bit(node, state.is_valid());
+                if state.is_ownerlike() {
+                    e.set_owner(Some((node as u8, state)));
+                } else if e.owner().is_some_and(|(n, _)| n == node) {
+                    e.set_owner(None);
+                }
+                if e.mask() == 0 {
                     self.entries.remove(&line);
                 }
                 prev
             }
             None => {
                 if state.is_valid() {
-                    let mut states = vec![State::I; self.n_nodes];
-                    states[node] = state;
-                    self.entries.insert(line, states);
+                    let mut e = Entry::empty(self.n_nodes);
+                    e.set(node, state);
+                    e.set_mask_bit(node, true);
+                    if state.is_ownerlike() {
+                        e.set_owner(Some((node as u8, state)));
+                    }
+                    self.entries.insert(line, e);
                 }
                 State::I
             }
@@ -133,33 +278,24 @@ impl DuplicateTagDirectory {
     }
 
     /// The node holding the line in an owner-like state (M, O, or E), if
-    /// any. At most one such node exists (protocol invariant).
+    /// any. At most one such node exists (protocol invariant); this scans
+    /// the packed states rather than trusting the cached owner, so it
+    /// stays meaningful on invariant-violating state under test.
     pub fn owner(&self, line: LineAddr) -> Option<usize> {
-        let states = self.entries.get(&line)?;
-        states.iter().position(|s| s.is_ownerlike())
+        let e = self.entries.get(&line)?;
+        (0..self.n_nodes).find(|&n| e.get(n).is_ownerlike())
     }
 
     /// Bitmask of nodes holding the line in any valid state.
     pub fn holders_mask(&self, line: LineAddr) -> u64 {
-        match self.entries.get(&line) {
-            None => 0,
-            Some(states) => states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_valid())
-                .fold(0u64, |m, (i, _)| m | (1 << i)),
-        }
+        self.entries.get(&line).map_or(0, Entry::mask)
     }
 
     /// Lowest-numbered node holding the line in any valid state,
     /// excluding `except`.
     pub fn first_holder_except(&self, line: LineAddr, except: usize) -> Option<usize> {
-        let states = self.entries.get(&line)?;
-        states
-            .iter()
-            .enumerate()
-            .find(|(i, s)| *i != except && s.is_valid())
-            .map(|(i, _)| i)
+        let m = self.entries.get(&line)?.mask() & !(1u64 << except);
+        (m != 0).then(|| m.trailing_zeros() as usize)
     }
 
     /// True when no node caches the line.
@@ -196,7 +332,8 @@ impl DuplicateTagDirectory {
     /// * M and E never coexist with any other valid copy;
     /// * no fully-invalid entries survive (garbage collection).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (line, states) in &self.entries {
+        for (line, e) in &self.entries {
+            let states = e.unpack(self.n_nodes);
             let ownerlike = states.iter().filter(|s| s.is_ownerlike()).count();
             if ownerlike > 1 {
                 return Err(format!("{line}: {ownerlike} owner-like copies"));
@@ -213,9 +350,11 @@ impl DuplicateTagDirectory {
         Ok(())
     }
 
-    /// Iterates over tracked lines and their state vectors.
-    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &[State])> {
-        self.entries.iter().map(|(l, s)| (*l, s.as_slice()))
+    /// Iterates over tracked lines and their (unpacked) state vectors.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, Vec<State>)> + '_ {
+        self.entries
+            .iter()
+            .map(|(l, e)| (*l, e.unpack(self.n_nodes)))
     }
 }
 
@@ -335,5 +474,40 @@ mod tests {
         d.set_state(LineAddr::new(1), 0, State::S);
         d.set_state(LineAddr::new(2), 1, State::M);
         assert_eq!(d.iter().count(), 2);
+    }
+
+    #[test]
+    fn large_entries_track_nodes_beyond_sixteen() {
+        // 32 nodes picks the boxed `Entry::Large` layout; exercise every
+        // operation the Small path covers, at node ids above 16.
+        let mut d = DuplicateTagDirectory::new(32);
+        assert_eq!(d.set_state(LineAddr::new(7), 31, State::O), State::I);
+        d.set_state(LineAddr::new(7), 0, State::S);
+        d.set_state(LineAddr::new(7), 17, State::S);
+        assert_eq!(d.state_of(LineAddr::new(7), 31), State::O);
+        assert_eq!(d.state_of(LineAddr::new(7), 17), State::S);
+        assert_eq!(d.state_of(LineAddr::new(7), 16), State::I);
+        assert_eq!(d.owner(LineAddr::new(7)), Some(31));
+        assert_eq!(d.holders_mask(LineAddr::new(7)), 1 << 31 | 1 << 17 | 1);
+        let v = d.lookup_view(LineAddr::new(7));
+        assert_eq!(v.mask, 1 << 31 | 1 << 17 | 1);
+        assert_eq!(v.owner, Some((31, State::O)));
+        assert_eq!(d.first_holder_except(LineAddr::new(7), 0), Some(17));
+        assert_eq!(d.lookup(LineAddr::new(7)).len(), 32);
+        assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn large_entries_garbage_collect_and_drop_the_owner_cache() {
+        let mut d = DuplicateTagDirectory::new(20);
+        d.set_state(LineAddr::new(3), 19, State::M);
+        assert_eq!(d.lookup_view(LineAddr::new(3)).owner, Some((19, State::M)));
+        // Downgrading the owner clears the cached owner but keeps the
+        // entry; invalidating the last copy collects it.
+        d.set_state(LineAddr::new(3), 19, State::S);
+        assert_eq!(d.lookup_view(LineAddr::new(3)).owner, None);
+        assert_eq!(d.holders_mask(LineAddr::new(3)), 1 << 19);
+        assert_eq!(d.set_state(LineAddr::new(3), 19, State::I), State::S);
+        assert!(d.is_empty());
     }
 }

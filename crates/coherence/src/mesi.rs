@@ -108,6 +108,13 @@ impl SharedMesi {
         (line.scramble() % self.banks.len() as u64) as usize
     }
 
+    /// Host-cache prefetch hint for an upcoming access by any core to
+    /// `line`: warms the home bank's set. Changes no simulated state.
+    #[inline]
+    pub fn prefetch_hint(&self, line: LineAddr) {
+        self.banks[self.bank_of(line)].prefetch(line);
+    }
+
     /// The functional directory of SRAM copies.
     pub fn directory(&self) -> &DuplicateTagDirectory {
         &self.dir
@@ -126,28 +133,38 @@ impl SharedMesi {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
+        let mut r = AccessResult::default();
+        self.access_into(core, mr, &mut r);
+        r
+    }
+
+    /// [`SharedMesi::access`] writing into a caller-owned result, so a
+    /// hot loop can reuse the step buffers instead of allocating two
+    /// vectors per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_into(&mut self, core: usize, mr: MemRef, r: &mut AccessResult) {
         assert!(core < self.nodes.len(), "core {core} out of range");
-        let mut r = AccessResult {
-            line: mr.line,
-            is_write: mr.kind.is_write(),
-            ..AccessResult::default()
-        };
+        r.clear();
+        r.line = mr.line;
+        r.is_write = mr.kind.is_write();
         match self.nodes[core].probe(mr.line, mr.kind) {
             SramHit::L1 => {
                 r.served = Some(ServedBy::L1);
                 if mr.kind.is_write() {
-                    self.write_permission(core, mr.line, &mut r);
+                    self.write_permission(core, mr.line, r);
                 }
             }
             SramHit::L2 => {
                 r.served = Some(ServedBy::L2);
                 if mr.kind.is_write() {
-                    self.write_permission(core, mr.line, &mut r);
+                    self.write_permission(core, mr.line, r);
                 }
             }
-            SramHit::Miss => self.sram_miss(core, mr, &mut r),
+            SramHit::Miss => self.sram_miss(core, mr, r),
         }
-        r
     }
 
     /// Write to an SRAM-resident line: silent E->M, or an upgrade through

@@ -111,6 +111,14 @@ impl PrivateMoesi {
         (line.scramble() % self.nodes.len() as u64) as usize
     }
 
+    /// Host-cache prefetch hint for an upcoming access by `core` to
+    /// `line`: warms the local vault slot, the hottest and largest array
+    /// on the access path. Changes no simulated state.
+    #[inline]
+    pub fn prefetch_hint(&self, core: usize, line: LineAddr) {
+        self.vaults[core].prefetch(line);
+    }
+
     /// The functional directory (for invariant checks and tests).
     pub fn directory(&self) -> &DuplicateTagDirectory {
         &self.dir
@@ -128,28 +136,38 @@ impl PrivateMoesi {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
+        let mut r = AccessResult::default();
+        self.access_into(core, mr, &mut r);
+        r
+    }
+
+    /// [`PrivateMoesi::access`] writing into a caller-owned result, so a
+    /// hot loop can reuse the step buffers instead of allocating two
+    /// vectors per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_into(&mut self, core: usize, mr: MemRef, r: &mut AccessResult) {
         assert!(core < self.nodes.len(), "core {core} out of range");
-        let mut r = AccessResult {
-            line: mr.line,
-            is_write: mr.kind.is_write(),
-            ..AccessResult::default()
-        };
+        r.clear();
+        r.line = mr.line;
+        r.is_write = mr.kind.is_write();
         match self.nodes[core].probe(mr.line, mr.kind) {
             SramHit::L1 => {
                 r.served = Some(ServedBy::L1);
                 if mr.kind.is_write() {
-                    self.write_permission(core, mr.line, &mut r);
+                    self.write_permission(core, mr.line, r);
                 }
             }
             SramHit::L2 => {
                 r.served = Some(ServedBy::L2);
                 if mr.kind.is_write() {
-                    self.write_permission(core, mr.line, &mut r);
+                    self.write_permission(core, mr.line, r);
                 }
             }
-            SramHit::Miss => self.sram_miss(core, mr, &mut r),
+            SramHit::Miss => self.sram_miss(core, mr, r),
         }
-        r
     }
 
     /// Ensures `core` may write a line it already caches (SRAM or vault
@@ -353,7 +371,7 @@ impl PrivateMoesi {
     /// Fills the SRAM levels. Node-level victims stay vault-resident, so
     /// no directory maintenance is needed (the directory tracks vaults).
     fn fill_sram(&mut self, core: usize, line: LineAddr, mr: MemRef) {
-        let _ = self.nodes[core].fill(line, mr.kind);
+        self.nodes[core].fill_untracked(line, mr.kind);
     }
 
     /// Invalidates every node in `mask`: vault, SRAM, and directory.

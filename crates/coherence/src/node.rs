@@ -135,6 +135,26 @@ impl Node {
         l2_victim
     }
 
+    /// [`Node::fill`] for callers that do not track SRAM residency
+    /// (SILO keeps sharer state per vault, not per SRAM line): performs
+    /// the same insertions and inclusion invalidations but skips the
+    /// other-L1 residency scan that computing the departing line costs
+    /// on every two-level victim.
+    pub fn fill_untracked(&mut self, line: LineAddr, kind: AccessKind) {
+        let l1 = if kind.is_ifetch() {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        l1.insert(line, ());
+        if let Some(l2) = &mut self.l2 {
+            if let Some(v) = l2.insert(line, ()) {
+                self.l1i.invalidate(v.line);
+                self.l1d.invalidate(v.line);
+            }
+        }
+    }
+
     /// Removes `line` from every SRAM level (inclusion enforcement on
     /// backing-store eviction, or a coherence invalidation). Returns true
     /// if any level held it.

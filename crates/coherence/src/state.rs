@@ -45,6 +45,31 @@ impl State {
     pub const fn is_ownerlike(self) -> bool {
         matches!(self, State::M | State::O | State::E)
     }
+
+    /// Packs the state into a small integer for bit-packed per-way
+    /// storage (the directory stores 3 bits per way, Fig. 9). `I` is 0,
+    /// so zeroed storage reads as all-invalid.
+    #[inline]
+    pub const fn to_bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`State::to_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a value [`State::to_bits`] never produces.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> State {
+        match bits {
+            0 => State::I,
+            1 => State::S,
+            2 => State::E,
+            3 => State::O,
+            4 => State::M,
+            _ => panic!("invalid packed coherence state"),
+        }
+    }
 }
 
 impl std::fmt::Display for State {

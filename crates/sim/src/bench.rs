@@ -33,6 +33,12 @@ use std::time::Instant;
 /// Version tag of the emitted JSON schema.
 pub const SCHEMA: &str = "silo-bench/v1";
 
+/// Version tag of the hot-loop throughput trajectory schema
+/// (`BENCH_hotloop.json`, written by [`throughput`]).
+pub const SCHEMA_HOTLOOP: &str = "silo-hotloop/v1";
+
+pub mod throughput;
+
 /// The swept dimensions. Single-element vectors degenerate to a classic
 /// per-workload comparison run.
 #[derive(Clone, Debug)]

@@ -675,7 +675,7 @@ mod tests {
             let mut small = *cfg;
             small.llc_capacity = silo_types::ByteSize::from_bytes(cfg.llc_capacity.as_bytes() / 4);
             SystemInstance {
-                engine: Box::new(crate::run::baseline_engine(&small)),
+                engine: crate::run::baseline_engine(&small).into(),
                 timing: TimingModel::baseline(&small),
             }
         });

@@ -92,8 +92,8 @@ pub use registry::{
 };
 pub use report::{name_widths, print_report, render_report, render_row};
 pub use run::{
-    run, run_baseline, run_metered, run_metered_source, run_silo, run_source, Protocol, RunStats,
-    ServedCounts,
+    run, run_baseline, run_metered, run_metered_source, run_silo, run_source, AnyEngine, Protocol,
+    RunStats, ServedCounts,
 };
 pub use scenario::Scenario;
 pub use silo_telemetry::{MeterConfig, Telemetry};

@@ -18,6 +18,16 @@ USAGE:
     silo-sim [OPTIONS]
     silo-sim trace-info FILE     inspect a .silotrace capture (header,
                                  provenance, record counts, checksum)
+    silo-sim bench [OPTIONS]     hot-loop throughput benchmark: time the
+                                 fixed matrix (every builtin system x
+                                 zipf-shared/uniform-private/pointer-chase,
+                                 8 cores, seed 42) and report refs/sec.
+                                 Options: --refs N (refs/core, default
+                                 20000), --threads N, --label S,
+                                 --json PATH (append a snapshot to a
+                                 silo-hotloop/v1 trajectory file),
+                                 --compare PATH (print refs/sec deltas vs
+                                 the file's last snapshot)
 
 OPTIONS:
     --scenario FILE      load a declarative scenario file (key = value:
@@ -146,10 +156,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
     let mut args = args;
     let mut first = true;
     while let Some(arg) = args.next() {
-        if std::mem::take(&mut first) && arg == "trace-info" {
-            let path: String = parse_value("trace-info", args.next())?;
-            print_trace_info(Path::new(&path))?;
-            return Ok(None);
+        if std::mem::take(&mut first) {
+            if arg == "trace-info" {
+                let path: String = parse_value("trace-info", args.next())?;
+                print_trace_info(Path::new(&path))?;
+                return Ok(None);
+            }
+            if arg == "bench" {
+                run_bench(args)?;
+                return Ok(None);
+            }
         }
         match arg.as_str() {
             "--scenario" => {
@@ -286,6 +302,100 @@ fn print_trace_info(path: &Path) -> Result<(), ConfigError> {
     };
     println!("file size:    {bytes} bytes ({per_ref:.2} bytes/record)");
     println!("checksum:     OK");
+    Ok(())
+}
+
+/// `silo-sim bench`: runs the fixed hot-loop throughput matrix and
+/// reports refs/sec per (system, workload) cell. `--json` appends the
+/// run as a snapshot to a `silo-hotloop/v1` trajectory file
+/// (`BENCH_hotloop.json`); `--compare` prints per-cell deltas against
+/// the last snapshot of an existing trajectory.
+fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> {
+    use silo_sim::bench::throughput;
+
+    let mut refs: usize = 20_000;
+    let mut threads = std::thread::available_parallelism().map_or(4, usize::from);
+    let mut label: Option<String> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut compare: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--refs" => refs = parse_value("--refs", args.next())?,
+            "--threads" => threads = parse_value("--threads", args.next())?,
+            "--label" => label = Some(parse_value("--label", args.next())?),
+            "--json" => json = Some(PathBuf::from(parse_value::<String>("--json", args.next())?)),
+            "--compare" => {
+                compare = Some(PathBuf::from(parse_value::<String>(
+                    "--compare",
+                    args.next(),
+                )?));
+            }
+            other => return Err(bad("bench argument", other, "unknown option")),
+        }
+    }
+    if refs == 0 {
+        return Err(bad("--refs", "0", "needs at least one reference per core"));
+    }
+    let spec = throughput::ThroughputSpec::hotloop_matrix(refs);
+    println!(
+        "hot-loop bench: {} systems x {} workloads, {} cores, {} refs/core, seed {}, {} threads",
+        spec.systems.len(),
+        spec.workloads.len(),
+        spec.cores,
+        spec.refs_per_core,
+        spec.seed,
+        threads
+    );
+    let rows = throughput::run_throughput(&spec, threads);
+    println!(
+        "{:<16} {:<16} {:>10} {:>10} {:>14}",
+        "system", "workload", "refs", "wall(ms)", "refs/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:<16} {:>10} {:>10.1} {:>14.0}",
+            r.system,
+            r.workload,
+            r.refs,
+            r.wall_ms,
+            r.refs_per_sec()
+        );
+    }
+    println!(
+        "geomean {:.0} refs/sec",
+        throughput::geomean_refs_per_sec(&rows)
+    );
+    if let Some(path) = &compare {
+        let snapshots = throughput::load_snapshots(path)?;
+        match snapshots.last() {
+            None => println!("compare: {} has no snapshots", path.display()),
+            Some(reference) => {
+                let against = reference
+                    .get("label")
+                    .and_then(silo_sim::Json::as_str)
+                    .unwrap_or("?");
+                let (deltas, geo) = throughput::compare_rows(&rows, reference);
+                for d in &deltas {
+                    println!(
+                        "delta {:<16} {:<16} {:>14.0} vs {:>14.0} = {:.2}x",
+                        d.system, d.workload, d.now, d.then, d.ratio
+                    );
+                }
+                match geo {
+                    Some(g) => println!("geomean vs '{against}': {g:.2}x refs/sec"),
+                    None => println!("compare: no matching rows in '{against}'"),
+                }
+            }
+        }
+    }
+    if let Some(path) = &json {
+        let label = label.unwrap_or_else(|| format!("refs{refs}"));
+        let n = throughput::append_snapshot(path, throughput::snapshot_json(&label, &spec, &rows))?;
+        println!(
+            "appended snapshot '{label}' to {} ({n} total)",
+            path.display()
+        );
+    }
     Ok(())
 }
 

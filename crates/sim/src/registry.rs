@@ -1,7 +1,8 @@
 //! The system registry: named factories producing protocol engines.
 //!
 //! A [`SystemSpec`] pairs a name and one-line description with a factory
-//! that instantiates a [`Protocol`] engine and its [`TimingModel`] from a
+//! that instantiates a [`Protocol`](crate::Protocol) engine and its
+//! [`TimingModel`] from a
 //! [`SystemConfig`]. The [`SystemRegistry`] holds the built-in systems —
 //! the paper's SILO/baseline pair plus sensitivity variants — and accepts
 //! user-defined entries, so comparisons are N-way runtime data instead of
@@ -17,7 +18,7 @@
 //! * `baseline-2x` — the baseline with doubled aggregate LLC capacity.
 
 use crate::config::SystemConfig;
-use crate::run::{baseline_engine, run_metered_source, silo_engine, Protocol, RunStats};
+use crate::run::{baseline_engine, run_metered_source, silo_engine, AnyEngine, RunStats};
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
 use silo_telemetry::{MeterConfig, Telemetry};
@@ -27,10 +28,14 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A freshly instantiated system: the protocol engine plus the timing
-/// model pricing its steps.
+/// model pricing its steps. Built-in factories produce concrete
+/// [`AnyEngine`] variants (`.into()` from the engine type), so the run
+/// loop dispatches accesses through a match instead of a vtable;
+/// user-defined factories can keep boxing (`Box<dyn Protocol>` also
+/// converts via `.into()`).
 pub struct SystemInstance {
     /// The protocol engine.
-    pub engine: Box<dyn Protocol>,
+    pub engine: AnyEngine,
     /// The priced resources (mesh, banks, memory) of this system.
     pub timing: TimingModel,
 }
@@ -98,7 +103,7 @@ impl SystemRegistry {
             "SILO",
             "private die-stacked DRAM vaults, MOESI with O-state forwarding (the paper's system)",
             |cfg| SystemInstance {
-                engine: Box::new(silo_engine(cfg, true)),
+                engine: silo_engine(cfg, true).into(),
                 timing: TimingModel::silo(cfg),
             },
         ));
@@ -106,7 +111,7 @@ impl SystemRegistry {
             "baseline",
             "shared, banked, non-inclusive NUCA LLC with an embedded MESI directory",
             |cfg| SystemInstance {
-                engine: Box::new(baseline_engine(cfg)),
+                engine: baseline_engine(cfg).into(),
                 timing: TimingModel::baseline(cfg),
             },
         ));
@@ -114,7 +119,7 @@ impl SystemRegistry {
             "silo-no-forward",
             "SILO without O-state forwarding: dirty reads write back to memory (MESI-over-vaults)",
             |cfg| SystemInstance {
-                engine: Box::new(silo_engine(cfg, false)),
+                engine: silo_engine(cfg, false).into(),
                 timing: TimingModel::silo(cfg),
             },
         ));
@@ -125,7 +130,7 @@ impl SystemRegistry {
                 let mut big = *cfg;
                 big.llc_capacity = ByteSize::from_bytes(cfg.llc_capacity.as_bytes() * 2);
                 SystemInstance {
-                    engine: Box::new(baseline_engine(&big)),
+                    engine: baseline_engine(&big).into(),
                     timing: TimingModel::baseline(&big),
                 }
             },
@@ -247,7 +252,7 @@ pub fn run_system_on_source_metered(
 ) -> (RunStats, Telemetry) {
     let mut inst = sys.instantiate(cfg);
     let (mut stats, telemetry) = run_metered_source(
-        &mut *inst.engine,
+        &mut inst.engine,
         &mut inst.timing,
         cfg,
         workload_name,
@@ -291,7 +296,7 @@ mod tests {
         let mut r = SystemRegistry::builtin();
         let n = r.specs().len();
         r.register(SystemSpec::new("SILO", "replaced", |cfg| SystemInstance {
-            engine: Box::new(silo_engine(cfg, true)),
+            engine: silo_engine(cfg, true).into(),
             timing: TimingModel::silo(cfg),
         }));
         assert_eq!(r.specs().len(), n);

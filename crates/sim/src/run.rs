@@ -38,6 +38,20 @@ use silo_types::{Cycles, MemRef};
 pub trait Protocol {
     /// Executes one reference from `core`.
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult;
+    /// Executes one reference, writing into a caller-owned result so a
+    /// hot loop can reuse the step buffers across accesses. The default
+    /// delegates to [`Protocol::access`]; the built-in engines override
+    /// it with their allocation-free paths.
+    fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
+        *out = self.access(core, mr);
+    }
+    /// Hints that `core` will access `line` shortly (the run loop issues
+    /// this one round-robin turn ahead of the matching
+    /// [`Protocol::access_into`]). Implementations may warm host-side
+    /// caches but must not change any observable simulation state.
+    fn prefetch(&self, core: usize, mr: MemRef) {
+        let _ = (core, mr);
+    }
     /// Display name of the system.
     fn system_name(&self) -> &str;
     /// The engine's coherence event counters.
@@ -50,6 +64,14 @@ pub trait Protocol {
 impl Protocol for PrivateMoesi {
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
         PrivateMoesi::access(self, core, mr)
+    }
+    #[inline]
+    fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
+        PrivateMoesi::access_into(self, core, mr, out);
+    }
+    #[inline]
+    fn prefetch(&self, core: usize, mr: MemRef) {
+        self.prefetch_hint(core, mr.line);
     }
     fn system_name(&self) -> &str {
         "SILO"
@@ -66,6 +88,14 @@ impl Protocol for SharedMesi {
     fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
         SharedMesi::access(self, core, mr)
     }
+    #[inline]
+    fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
+        SharedMesi::access_into(self, core, mr, out);
+    }
+    #[inline]
+    fn prefetch(&self, _core: usize, mr: MemRef) {
+        self.prefetch_hint(mr.line);
+    }
     fn system_name(&self) -> &str {
         "baseline"
     }
@@ -74,6 +104,87 @@ impl Protocol for SharedMesi {
     }
     fn reset_coherence_stats(&mut self) {
         self.reset_stats();
+    }
+}
+
+/// The engine holder the registry instantiates: built-in systems get
+/// concrete variants, so driving one through
+/// [`run_metered_source`]`::<AnyEngine>` turns the per-reference
+/// `access` call into a direct (inlinable) match arm instead of a
+/// vtable dispatch. User-registered engines keep the boxed fallback —
+/// one match + one virtual call, no slower than the old all-dyn path.
+pub enum AnyEngine {
+    /// The SILO private-vault MOESI engine (either forwarding variant).
+    Silo(PrivateMoesi),
+    /// The shared-LLC MESI baseline (any capacity).
+    Baseline(SharedMesi),
+    /// A user-registered engine behind dynamic dispatch.
+    Custom(Box<dyn Protocol>),
+}
+
+impl Protocol for AnyEngine {
+    #[inline]
+    fn access(&mut self, core: usize, mr: MemRef) -> AccessResult {
+        match self {
+            AnyEngine::Silo(e) => PrivateMoesi::access(e, core, mr),
+            AnyEngine::Baseline(e) => SharedMesi::access(e, core, mr),
+            AnyEngine::Custom(e) => e.access(core, mr),
+        }
+    }
+    #[inline]
+    fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
+        match self {
+            AnyEngine::Silo(e) => PrivateMoesi::access_into(e, core, mr, out),
+            AnyEngine::Baseline(e) => SharedMesi::access_into(e, core, mr, out),
+            AnyEngine::Custom(e) => e.access_into(core, mr, out),
+        }
+    }
+    #[inline]
+    fn prefetch(&self, core: usize, mr: MemRef) {
+        match self {
+            AnyEngine::Silo(e) => e.prefetch_hint(core, mr.line),
+            AnyEngine::Baseline(e) => e.prefetch_hint(mr.line),
+            AnyEngine::Custom(e) => e.prefetch(core, mr),
+        }
+    }
+    fn system_name(&self) -> &str {
+        match self {
+            AnyEngine::Silo(e) => e.system_name(),
+            AnyEngine::Baseline(e) => e.system_name(),
+            AnyEngine::Custom(e) => e.system_name(),
+        }
+    }
+    fn coherence_stats(&self) -> CoherenceStats {
+        match self {
+            AnyEngine::Silo(e) => e.coherence_stats(),
+            AnyEngine::Baseline(e) => e.coherence_stats(),
+            AnyEngine::Custom(e) => e.coherence_stats(),
+        }
+    }
+    fn reset_coherence_stats(&mut self) {
+        match self {
+            AnyEngine::Silo(e) => e.reset_coherence_stats(),
+            AnyEngine::Baseline(e) => e.reset_coherence_stats(),
+            AnyEngine::Custom(e) => e.reset_coherence_stats(),
+        }
+    }
+}
+
+impl From<PrivateMoesi> for AnyEngine {
+    fn from(e: PrivateMoesi) -> Self {
+        AnyEngine::Silo(e)
+    }
+}
+
+impl From<SharedMesi> for AnyEngine {
+    fn from(e: SharedMesi) -> Self {
+        AnyEngine::Baseline(e)
+    }
+}
+
+impl From<Box<dyn Protocol>> for AnyEngine {
+    fn from(e: Box<dyn Protocol>) -> Self {
+        AnyEngine::Custom(e)
     }
 }
 
@@ -217,19 +328,125 @@ impl RunStats {
     }
 }
 
+/// A core's MSHR file: the completion times of its outstanding misses,
+/// in a fixed-capacity inline buffer sized by `cfg.mlp` so the
+/// per-miss path never allocates. Entries are an unordered multiset —
+/// the stall rules below depend only on the completion-time *values*
+/// (drop everything `<= issue`, stall to the minimum when full), so
+/// removal is swap-with-last and the results stay bit-identical to the
+/// old growable-`Vec` bookkeeping.
+#[derive(Clone, Debug)]
+struct Mshrs {
+    done: Box<[Cycles]>,
+    len: usize,
+}
+
+impl Mshrs {
+    fn new(mlp: usize) -> Self {
+        Mshrs {
+            done: vec![Cycles::ZERO; mlp].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Retires every miss completed by the issue point.
+    #[inline]
+    fn drop_completed(&mut self, issue: Cycles) {
+        let mut i = 0;
+        while i < self.len {
+            if self.done[i] <= issue {
+                self.len -= 1;
+                self.done[i] = self.done[self.len];
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Frees a slot for the next miss: while every MSHR is busy, stall
+    /// to the earliest-completing one and retire it (not the
+    /// oldest-issued — a slow memory access must not pin MSHRs that
+    /// vault hits have already vacated). Returns the possibly-delayed
+    /// issue time.
+    #[inline]
+    fn acquire(&mut self, mut issue: Cycles) -> Cycles {
+        while self.len >= self.done.len() {
+            let mut idx = 0;
+            for j in 1..self.len {
+                if self.done[j] < self.done[idx] {
+                    idx = j;
+                }
+            }
+            issue = issue.max(self.done[idx]);
+            self.len -= 1;
+            self.done[idx] = self.done[self.len];
+        }
+        issue
+    }
+
+    /// Records a newly issued miss. Call only after [`Mshrs::acquire`],
+    /// which guarantees a free slot.
+    #[inline]
+    fn push(&mut self, done: Cycles) {
+        self.done[self.len] = done;
+        self.len += 1;
+    }
+}
+
 /// One core's in-flight state.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 struct CoreState {
     /// Retirement cursor (compute cycles consumed so far).
     cursor: Cycles,
-    /// Completion times of outstanding misses (unordered; completions
-    /// are not monotonic across banks and memory).
-    outstanding: Vec<Cycles>,
+    /// Outstanding misses (unordered; completions are not monotonic
+    /// across banks and memory).
+    mshrs: Mshrs,
     /// Completion of the most recent miss (dependency target).
     last_miss: Cycles,
     /// Latest completion seen (finish time candidate).
     finish: Cycles,
     instructions: u64,
+}
+
+impl CoreState {
+    fn new(mlp: usize) -> Self {
+        CoreState {
+            cursor: Cycles::ZERO,
+            mshrs: Mshrs::new(mlp),
+            last_miss: Cycles::ZERO,
+            finish: Cycles::ZERO,
+            instructions: 0,
+        }
+    }
+}
+
+/// The two views of the LLC critical-path latency distribution, filled
+/// by a single recording call per miss: the fixed-width histogram
+/// reported in [`RunStats::llc_latency`] and the log2 histogram
+/// exported through the telemetry recorder.
+struct LatencyHists {
+    linear: Histogram,
+    log: Histogram,
+}
+
+impl LatencyHists {
+    fn new() -> Self {
+        LatencyHists {
+            linear: Histogram::new(16, 64),
+            log: Histogram::log2(),
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, lat: u64) {
+        self.linear.record(lat);
+        self.log.record(lat);
+    }
+
+    fn reset(&mut self) {
+        self.linear.reset();
+        self.log.reset();
+    }
 }
 
 /// The slowest core's current position: the makespan so far.
@@ -348,6 +565,35 @@ pub fn run_source<P: Protocol + ?Sized>(
     .0
 }
 
+/// Ends the warmup window: zeroes the measurement aggregates and takes
+/// counter baselines for the shared resources, but leaves caches,
+/// directories, and bank reservations as they are. Executes at most
+/// once per run, so the link-flit baseline vector is cloned exactly
+/// once at the boundary (the old macro expansion duplicated the
+/// capture code at both call sites).
+fn end_warmup<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &TimingModel,
+    cores: &[CoreState],
+    served: &mut ServedCounts,
+    llc_accesses: &mut u64,
+    llc: &mut LatencyHists,
+) -> MeasureBase {
+    *served = ServedCounts::default();
+    *llc_accesses = 0;
+    llc.reset();
+    engine.reset_coherence_stats();
+    MeasureBase {
+        instructions: cores.iter().map(|c| c.instructions).sum(),
+        cycles: makespan(cores).as_u64(),
+        mesh_messages: timing.mesh().messages(),
+        mesh_hops: timing.mesh().total_hops(),
+        link_flits: timing.mesh().link_flits().to_vec(),
+        vault_busy: timing.vault_busy_cycles(),
+        memory_accesses: timing.memory_accesses(),
+    }
+}
+
 /// The streaming core of the simulation: [`run_metered`] over a
 /// [`TraceSource`]. Cores are interleaved round-robin — one reference
 /// per live core per turn — until every core's stream is exhausted,
@@ -362,64 +608,66 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
     source: &mut dyn TraceSource,
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry) {
-    let mut cores: Vec<CoreState> = vec![CoreState::default(); cfg.cores];
+    let mut cores: Vec<CoreState> = (0..cfg.cores).map(|_| CoreState::new(cfg.mlp)).collect();
     let mut served = ServedCounts::default();
     let mut llc_accesses = 0u64;
-    let mut llc_latency = Histogram::new(16, 64);
-    let mut llc_log = Histogram::log2();
+    let mut llc = LatencyHists::new();
     let mut timeline = Timeline::new(meter.epoch_refs.unwrap_or(0));
+    if let Some(refs) = source.len_hint() {
+        timeline.reserve_for(refs);
+    }
     let mut base = MeasureBase::default();
     let mut processed = 0u64;
     let mut warmup_pending = meter.warmup_refs > 0;
-
-    // End of warmup: zero the measurement aggregates and take counter
-    // baselines for the shared resources, but leave caches, directories,
-    // and bank reservations as they are.
-    macro_rules! end_warmup {
-        () => {{
-            served = ServedCounts::default();
-            llc_accesses = 0;
-            llc_latency.reset();
-            llc_log.reset();
-            engine.reset_coherence_stats();
-            base = MeasureBase {
-                instructions: cores.iter().map(|c| c.instructions).sum(),
-                cycles: makespan(&cores).as_u64(),
-                mesh_messages: timing.mesh().messages(),
-                mesh_hops: timing.mesh().total_hops(),
-                link_flits: timing.mesh().link_flits().to_vec(),
-                vault_busy: timing.vault_busy_cycles(),
-                memory_accesses: timing.memory_accesses(),
-            };
-        }};
-    }
+    // Hoisted once: a disabled timeline skips the per-reference
+    // recording calls entirely, so the un-metered path touches no epoch
+    // state inside the loop.
+    let sampling = timeline.enabled();
+    // One result buffer for the whole run: the engines write into it via
+    // `access_into`, reusing the step vectors instead of allocating two
+    // per reference.
+    let mut res = AccessResult::default();
 
     let mut exhausted = vec![false; cfg.cores];
     let mut live = cfg.cores;
+    // Two-phase rounds: pull one reference per live core first (issuing
+    // the engine's host-cache prefetch hint for each), then execute the
+    // round in the same core order. Per-core streams are independent, so
+    // batching the pulls changes neither any stream nor the execution
+    // order — only how far ahead of its access each prefetch lands.
+    let mut round: Vec<(usize, MemRef)> = Vec::with_capacity(cfg.cores);
     while live > 0 {
+        round.clear();
         for (c, done) in exhausted.iter_mut().enumerate() {
             if *done {
                 continue;
             }
-            let Some(mr) = source.next(c) else {
-                *done = true;
-                live -= 1;
-                continue;
-            };
+            match source.next(c) {
+                Some(mr) => {
+                    engine.prefetch(c, mr);
+                    round.push((c, mr));
+                }
+                None => {
+                    *done = true;
+                    live -= 1;
+                }
+            }
+        }
+        for &(c, mr) in &round {
             // The reference instruction itself retires too: charge
             // `gap + 1` cycles to match the `gap + 1` instructions, or a
             // hit-only trace would report IPC above the base-CPI-1 ceiling.
             let instructions = mr.gap_instructions as u64 + 1;
             let mut latency = None;
-            let level;
+            let served_by;
             {
                 let core = &mut cores[c];
                 core.instructions += instructions;
                 core.cursor += Cycles(instructions);
 
-                let res = engine.access(c, mr);
-                served.record(res.served_by());
-                level = service_level(res.served_by());
+                engine.access_into(c, mr, &mut res);
+                served_by = res.served_by();
+                served.record(served_by);
                 if !res.llc_access {
                     // SRAM hit: absorbed by the pipeline at base CPI.
                     core.finish = core.finish.max(core.cursor);
@@ -428,35 +676,19 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
 
                     // Issue time: dependent misses wait for the previous
                     // miss; independent ones only wait for a free MSHR.
-                    let mut issue = if mr.dependent {
+                    let issue = if mr.dependent {
                         core.cursor.max(core.last_miss)
                     } else {
                         core.cursor
                     };
-                    // Retire misses that completed by the issue point; if
-                    // every MSHR is still busy, stall until the
-                    // earliest-completing one frees up (not the
-                    // oldest-issued: a slow memory access must not pin
-                    // MSHRs that vault hits have already vacated).
-                    core.outstanding.retain(|&d| d > issue);
-                    while core.outstanding.len() >= cfg.mlp {
-                        let (idx, earliest) = core
-                            .outstanding
-                            .iter()
-                            .copied()
-                            .enumerate()
-                            .min_by_key(|&(_, d)| d)
-                            .expect("mlp > 0, so nonempty");
-                        issue = issue.max(earliest);
-                        core.outstanding.swap_remove(idx);
-                    }
+                    core.mshrs.drop_completed(issue);
+                    let issue = core.mshrs.acquire(issue);
 
                     let done = timing.charge(issue, &res);
                     let lat = (done - issue).as_u64();
-                    llc_latency.record(lat);
-                    llc_log.record(lat);
+                    llc.record(lat);
                     latency = Some(lat);
-                    core.outstanding.push(done);
+                    core.mshrs.push(done);
                     core.last_miss = done;
                     core.finish = core.finish.max(done);
                     if mr.dependent {
@@ -467,13 +699,22 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
             }
 
             processed += 1;
-            timeline.record_ref(level, instructions, latency);
-            if timeline.epoch_full() {
-                timeline.flush(&epoch_env(&cores, timing, meter));
+            if sampling {
+                timeline.record_ref(service_level(served_by), instructions, latency);
+                if timeline.epoch_full() {
+                    timeline.flush(&epoch_env(&cores, timing, meter));
+                }
             }
             if warmup_pending && processed >= meter.warmup_refs {
                 warmup_pending = false;
-                end_warmup!();
+                base = end_warmup(
+                    &mut *engine,
+                    timing,
+                    &cores,
+                    &mut served,
+                    &mut llc_accesses,
+                    &mut llc,
+                );
             }
         }
     }
@@ -481,7 +722,14 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
         // The warmup window swallowed the whole trace: still perform the
         // reset so the measurement window is consistently empty instead
         // of silently reporting cold-start full-run numbers.
-        end_warmup!();
+        base = end_warmup(
+            &mut *engine,
+            timing,
+            &cores,
+            &mut served,
+            &mut llc_accesses,
+            &mut llc,
+        );
     }
     timeline.finish(&epoch_env(&cores, timing, meter));
 
@@ -502,7 +750,7 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
         cycles: Cycles(makespan(&cores).as_u64() - base.cycles),
         served,
         llc_accesses,
-        llc_latency,
+        llc_latency: llc.linear,
         mesh_messages,
         mesh_total_hops,
         mesh_max_link_flits,
@@ -526,7 +774,7 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
         "vault_busy_cycles",
         timing.vault_busy_cycles() - base.vault_busy,
     );
-    *recorder.histogram("llc_latency") = llc_log;
+    *recorder.histogram("llc_latency") = llc.log;
     let telemetry = Telemetry {
         meter: *meter,
         recorder,

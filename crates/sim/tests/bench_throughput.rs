@@ -1,0 +1,149 @@
+//! Integration tests for the hot-loop throughput benchmark
+//! (`silo_sim::bench::throughput`): the tracked matrix shape, row
+//! determinism across worker-thread counts, and the `silo-hotloop/v1`
+//! snapshot file round trip that `silo-sim bench --json` relies on.
+
+use silo_sim::bench::throughput::{
+    append_snapshot, compare_rows, geomean_refs_per_sec, hotloop_doc, load_snapshots,
+    run_throughput, snapshot_json, ThroughputSpec,
+};
+use silo_sim::bench::SCHEMA_HOTLOOP;
+use silo_sim::Json;
+
+/// A fast matrix: the real hot-loop spec truncated to 2 systems × 2
+/// workloads on 2 cores with a small reference count.
+fn tiny_spec() -> ThroughputSpec {
+    let mut spec = ThroughputSpec::hotloop_matrix(300);
+    spec.cores = 2;
+    spec.systems.truncate(2);
+    spec.workloads.truncate(2);
+    spec
+}
+
+/// A scratch path under the target-owned temp dir; each test uses its
+/// own file name so they can run concurrently.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("silo-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn tracked_matrix_is_every_builtin_system_by_three_workloads() {
+    let spec = ThroughputSpec::hotloop_matrix(20_000);
+    assert_eq!(spec.cores, 8, "the committed trajectory runs 8 cores");
+    assert_eq!(
+        spec.seed, 42,
+        "the committed trajectory is pinned to seed 42"
+    );
+    assert!(
+        spec.systems.len() >= 4,
+        "every builtin system is timed, found {}",
+        spec.systems.len()
+    );
+    let workloads: Vec<&str> = spec.workloads.iter().map(|w| w.name.as_str()).collect();
+    assert_eq!(
+        workloads,
+        ["zipf-shared", "uniform-private", "pointer-chase"]
+    );
+    assert!(spec.workloads.iter().all(|w| w.refs_per_core == 20_000));
+}
+
+#[test]
+fn rows_are_positive_and_in_matrix_order() {
+    let spec = tiny_spec();
+    let rows = run_throughput(&spec, 1);
+    assert_eq!(rows.len(), spec.systems.len() * spec.workloads.len());
+    let mut i = 0;
+    for sys in &spec.systems {
+        for w in &spec.workloads {
+            assert_eq!(rows[i].system, sys.name());
+            assert_eq!(rows[i].workload, w.name);
+            assert_eq!(rows[i].refs, (spec.cores * spec.refs_per_core) as u64);
+            assert!(rows[i].wall_ms >= 0.0);
+            assert!(rows[i].refs_per_sec() > 0.0);
+            i += 1;
+        }
+    }
+    assert!(geomean_refs_per_sec(&rows) > 0.0);
+}
+
+#[test]
+fn simulated_fields_do_not_depend_on_worker_threads() {
+    let spec = tiny_spec();
+    let sequential = run_throughput(&spec, 1);
+    let parallel = run_throughput(&spec, 4);
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.system, p.system);
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.refs, p.refs, "only wall_ms may vary with the host");
+    }
+}
+
+#[test]
+fn snapshot_document_round_trips_through_the_parser() {
+    let spec = tiny_spec();
+    let rows = run_throughput(&spec, 2);
+    let doc = hotloop_doc(vec![snapshot_json("pr-test", &spec, &rows)]);
+    let parsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some(SCHEMA_HOTLOOP)
+    );
+    let snaps = parsed
+        .get("snapshots")
+        .and_then(Json::as_arr)
+        .expect("snapshots array");
+    assert_eq!(snaps.len(), 1);
+    assert_eq!(
+        snaps[0].get("label").and_then(Json::as_str),
+        Some("pr-test")
+    );
+    assert_eq!(snaps[0].get("cores").and_then(Json::as_u64), Some(2));
+    // Self-comparison against the snapshot we just emitted is exactly
+    // 1.0x on every row.
+    let (deltas, geo) = compare_rows(&rows, &snaps[0]);
+    assert_eq!(deltas.len(), rows.len());
+    for d in &deltas {
+        assert!(!d.system.is_empty() && !d.workload.is_empty());
+        assert!(d.now > 0.0 && d.then > 0.0);
+        assert!((d.ratio - 1.0).abs() < 1e-9);
+    }
+    assert!((geo.expect("all rows matched") - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn append_snapshot_grows_a_trajectory_file() {
+    let spec = tiny_spec();
+    let rows = run_throughput(&spec, 2);
+    let path = scratch("trajectory.json");
+    let _ = std::fs::remove_file(&path);
+
+    let n = append_snapshot(&path, snapshot_json("first", &spec, &rows)).expect("create file");
+    assert_eq!(n, 1);
+    let n = append_snapshot(&path, snapshot_json("second", &spec, &rows)).expect("append");
+    assert_eq!(n, 2);
+
+    let snaps = load_snapshots(&path).expect("reload trajectory");
+    assert_eq!(snaps.len(), 2);
+    assert_eq!(snaps[0].get("label").and_then(Json::as_str), Some("first"));
+    assert_eq!(snaps[1].get("label").and_then(Json::as_str), Some("second"));
+    // The newest snapshot still compares 1.0x against the file copy.
+    let (_, geo) = compare_rows(&rows, &snaps[1]);
+    assert!((geo.expect("rows matched") - 1.0).abs() < 1e-9);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn load_snapshots_rejects_foreign_schemas() {
+    let path = scratch("not-hotloop.json");
+    std::fs::write(
+        &path,
+        "{\"schema\": \"silo-bench/v1\", \"snapshots\": []}\n",
+    )
+    .expect("write fixture");
+    let err = load_snapshots(&path).expect_err("wrong schema must be rejected");
+    assert!(err.to_string().contains("silo-hotloop/v1"));
+    let _ = std::fs::remove_file(&path);
+}

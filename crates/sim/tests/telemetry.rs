@@ -222,7 +222,7 @@ fn warmup_larger_than_the_trace_yields_an_empty_window_not_full_run_stats() {
             .expect("builtin")
             .instantiate(&cfg);
         let (stats, _) = run_metered(
-            &mut *inst.engine,
+            &mut inst.engine,
             &mut inst.timing,
             &cfg,
             &spec.name,

@@ -204,6 +204,16 @@ impl Timeline {
         self.epoch_refs
     }
 
+    /// Pre-sizes the row storage for a run expected to process
+    /// `expected_refs` references, so epoch flushes never reallocate
+    /// mid-run. A no-op when sampling is disabled.
+    pub fn reserve_for(&mut self, expected_refs: u64) {
+        if self.enabled() {
+            self.rows
+                .reserve(expected_refs.div_ceil(self.epoch_refs) as usize);
+        }
+    }
+
     /// Records one processed reference.
     pub fn record_ref(&mut self, level: ServiceLevel, instructions: u64, llc_latency: Option<u64>) {
         if !self.enabled() {
@@ -263,7 +273,10 @@ impl Timeline {
         self.acc = Acc::new();
         self.base_cycles = env.cycles;
         self.base_messages = env.mesh_messages;
-        self.base_flits = env.link_flits.to_vec();
+        // Reuse the baseline buffer across epochs instead of allocating
+        // a fresh vector per flush.
+        self.base_flits.clear();
+        self.base_flits.extend_from_slice(env.link_flits);
         self.base_vault_busy = env.vault_busy_cycles;
     }
 

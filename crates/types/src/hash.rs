@@ -1,0 +1,174 @@
+//! A fast, dependency-free hasher for the simulator's hot-path tables.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs tens of cycles per lookup — pure overhead
+//! for a simulator hashing its own deterministic line addresses. This
+//! module provides the multiply-and-rotate scheme used by the Firefox
+//! and rustc `FxHasher` (public-domain algorithm, reimplemented here so
+//! the workspace stays dependency-free): one wrapping multiply per
+//! 8-byte word, no per-instance state, no randomization.
+//!
+//! Determinism note: the hasher is fixed across runs and platforms of
+//! the same pointer width, but *simulated results must never depend on
+//! hash-table iteration order anyway* — that invariant (already
+//! required under std's randomized SipHash seeds) is what makes
+//! swapping the hasher bit-identity-safe.
+//!
+//! ```
+//! use silo_types::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(0xdead_beef, "line");
+//! assert_eq!(m.get(&0xdead_beef), Some(&"line"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// An [`FxHashMap`] pre-sized for `capacity` entries.
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash word mixer: rotate, xor in the word, multiply by an
+/// odd constant (the 64-bit golden-ratio-derived seed `rustc` uses).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8-byte chunk")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                word.try_into().expect("4-byte chunk"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_runs_are_stable() {
+        assert_eq!(hash_of(&0xdead_beef_u64), hash_of(&0xdead_beef_u64));
+        assert_eq!(hash_of(&"line"), hash_of(&"line"));
+        // No per-instance randomization: two independent builders agree.
+        let a = FxBuildHasher::default().hash_one(42u64);
+        let b = FxBuildHasher::default().hash_one(42u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_line_addresses_spread_across_buckets() {
+        // Sequential line numbers are the common key pattern; the
+        // multiply must spread them even before HashMap's bucket mask.
+        let mut buckets = [0u32; 16];
+        for i in 0u64..1600 {
+            buckets[(hash_of(&i) >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 40, "high-bit bucket underpopulated: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_chunking_covers_all_widths() {
+        // 8-byte, 4-byte, and tail paths all feed the mix; distinct
+        // inputs of awkward lengths should not collide trivially.
+        let inputs: Vec<&[u8]> = vec![b"", b"a", b"abc", b"abcd", b"abcdefg", b"abcdefgh1234"];
+        let hashes: Vec<u64> = inputs
+            .iter()
+            .map(|b| {
+                let mut h = FxHasher::default();
+                h.write(b);
+                h.finish()
+            })
+            .collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{:?} vs {:?}", inputs[i], inputs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work_with_presizing() {
+        let mut m = fx_map_with_capacity::<u64, u64>(100);
+        assert!(m.capacity() >= 100);
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&99), Some(&198));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("x");
+        assert!(s.contains("x"));
+    }
+}

@@ -19,6 +19,7 @@
 //! assert_eq!(CoreId::new(3).as_usize(), 3);
 //! ```
 
+pub mod hash;
 pub mod stats;
 
 use std::fmt;
