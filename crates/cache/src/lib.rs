@@ -16,6 +16,12 @@
 //! Caches here are *functional*: they track contents and produce
 //! hit/miss/eviction outcomes. All timing lives in `silo-sim`.
 
+// Policy: unsafe is denied workspace-wide (every other crate is
+// `forbid`); the single exception is the `_mm_prefetch` host-cache
+// hint in `set_assoc`, which carries its own `#[allow]` + SAFETY note
+// and is compiled out under Miri.
+#![deny(unsafe_code)]
+
 pub mod missmap;
 pub mod page;
 pub mod set_assoc;

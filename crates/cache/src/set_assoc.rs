@@ -234,8 +234,13 @@ impl<P> SetAssocCache<P> {
     /// tables hash-probe, so they have no slot address to hint and the
     /// call is a no-op (as on non-x86 hosts).
     #[inline]
+    #[allow(unsafe_code)] // the crate-level deny's single exception
     pub fn prefetch(&self, line: LineAddr) {
-        #[cfg(target_arch = "x86_64")]
+        // Compiled out under Miri: `_mm_prefetch` is a vendor intrinsic
+        // the interpreter does not model, and skipping a pure hint
+        // cannot change behaviour — this is the only unsafe block in the
+        // workspace (every other crate is `#![forbid(unsafe_code)]`).
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             let set = self.set_of(line) as usize;
             let ptr = match &self.table {
@@ -249,7 +254,7 @@ impl<P> SetAssocCache<P> {
                 std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr);
             }
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
         let _ = line;
     }
 

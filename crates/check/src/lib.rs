@@ -1,0 +1,45 @@
+//! `silo-check`: static analysis for the coherence core.
+//!
+//! The end-to-end golden tests pin the simulator's *output*, but cannot
+//! distinguish "coherent" from "consistently wrong": a protocol bug that
+//! deterministically corrupts state produces a stable, reproducible —
+//! and meaningless — JSON document. This crate attacks the state
+//! machines directly with an exhaustive bounded model checker:
+//!
+//! * [`explore`] drives a protocol engine over a small world (a handful
+//!   of nodes, a few cache lines chosen to conflict in the direct-mapped
+//!   levels) through a breadth-first search over **all** interleavings
+//!   of per-node reads and writes, fingerprinting every reachable
+//!   (directory entry × per-node cache state × backing-store dirty bit)
+//!   configuration.
+//! * At every reachable state and transition it asserts the MOESI
+//!   safety invariants — single-writer/multiple-reader, at most one
+//!   owner, dirty data is never silently dropped, the directory's
+//!   packed entries agree with an unpacked reference replay, and the
+//!   per-protocol dirty-forward transition table (the documented
+//!   `silo-no-forward` deviation gets its own expected entries instead
+//!   of a violation).
+//! * On a violation it stops and reconstructs the exact operation
+//!   sequence from the initial state as a [`Counterexample`] — a
+//!   machine-checked reproduction recipe, not just an assertion message.
+//!
+//! The [`ModelEngine`] trait is the checker's view of an engine; it is
+//! implemented for the real [`silo_coherence::PrivateMoesi`] and
+//! [`silo_coherence::SharedMesi`] engines (the same code the simulator
+//! runs, not a model of it) and by deliberately broken test engines
+//! that prove the checker actually catches bugs.
+//!
+//! `silo-sim check` wraps this into a CLI subcommand emitting a
+//! `silo-check/v1` JSON report.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod model;
+pub mod report;
+
+pub use engine::{
+    baseline_world, silo_world, DirtyForwardPolicy, ModelEngine, WorldParams, DEFAULT_NODES,
+};
+pub use model::{explore, Op, World};
+pub use report::{CheckReport, Counterexample, Deviation, InvariantStatus, TraceStep};

@@ -1,0 +1,101 @@
+//! The model checker's result types: per-invariant tallies and the
+//! counterexample trace emitted on a violation. `silo-sim check`
+//! renders these into the `silo-check/v1` JSON schema.
+
+use crate::model::Op;
+use std::fmt;
+
+/// One safety invariant's tally over the exploration.
+#[derive(Clone, Debug)]
+pub struct InvariantStatus {
+    /// Stable identifier of the invariant (`swmr`, `single-owner`,
+    /// `dirty-ownership`, `directory-agreement`, `packed-roundtrip`,
+    /// `forward-policy`, `no-o-state`, `served-classification`).
+    pub name: &'static str,
+    /// How many times the invariant was evaluated.
+    pub checked: u64,
+    /// How many evaluations failed. Exploration stops at the first
+    /// violation, so this is 0 or 1.
+    pub violations: u64,
+}
+
+/// One step of a counterexample: the operation applied and the state id
+/// it produced.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// The operation.
+    pub op: Op,
+    /// The fingerprinted state reached after applying `op`.
+    pub state: u32,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> state {}", self.op, self.state)
+    }
+}
+
+/// A machine-checked reproduction recipe for an invariant violation:
+/// the operation sequence from the initial (all-invalid) state to the
+/// violating one.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// The violation message (from the engine or the checker).
+    pub message: String,
+    /// Operations from the initial state, in order; replaying them on a
+    /// fresh engine reproduces the violation.
+    pub trace: Vec<TraceStep>,
+}
+
+/// A documented, expected protocol deviation observed during
+/// exploration (e.g. `silo-no-forward`'s memory writeback on a dirty
+/// read forward), with how often it fired. Deviations are not
+/// violations: they are the per-protocol entries of the dirty-forward
+/// transition table.
+#[derive(Clone, Debug)]
+pub struct Deviation {
+    /// Human-readable transition description.
+    pub description: String,
+    /// How many explored transitions matched it.
+    pub occurrences: u64,
+}
+
+/// The outcome of one system's exploration.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Registry name of the checked system.
+    pub system: String,
+    /// Nodes in the bounded world.
+    pub nodes: usize,
+    /// Cache lines in the bounded world.
+    pub lines: usize,
+    /// Distinct reachable states visited.
+    pub states: u64,
+    /// Transitions (state × operation edges) executed.
+    pub transitions: u64,
+    /// Deepest BFS level reached.
+    pub max_depth: u32,
+    /// True when the reachable space was exhausted; false when the
+    /// `max_states` bound truncated the search.
+    pub exhausted: bool,
+    /// Per-invariant tallies, in a stable order.
+    pub invariants: Vec<InvariantStatus>,
+    /// Expected-transition table entries observed (may be empty).
+    pub deviations: Vec<Deviation>,
+    /// The first violation found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CheckReport {
+    /// True when no invariant was violated.
+    pub fn ok(&self) -> bool {
+        self.counterexample.is_none() && self.invariants.iter().all(|i| i.violations == 0)
+    }
+
+    /// Total violations across invariants.
+    pub fn violations(&self) -> u64 {
+        self.invariants.iter().map(|i| i.violations).sum()
+    }
+}

@@ -215,12 +215,21 @@ impl DuplicateTagDirectory {
     }
 
     /// Records a directory lookup (sharer scan) and returns the full
-    /// per-node state vector (I for absent).
+    /// per-node state vector (I for absent). Thin allocating wrapper
+    /// around [`DuplicateTagDirectory::lookup_states`]; hot callers
+    /// should use the iterator (or [`DuplicateTagDirectory::lookup_view`])
+    /// instead.
     pub fn lookup(&mut self, line: LineAddr) -> Vec<State> {
+        self.lookup_states(line).collect()
+    }
+
+    /// Records a directory lookup and iterates the per-node states
+    /// without allocating (I for absent). Same accounting as
+    /// [`DuplicateTagDirectory::lookup`].
+    pub fn lookup_states(&mut self, line: LineAddr) -> impl Iterator<Item = State> + '_ {
         self.lookups += 1;
-        self.entries
-            .get(&line)
-            .map_or_else(|| vec![State::I; self.n_nodes], |e| e.unpack(self.n_nodes))
+        let entry = self.entries.get(&line);
+        (0..self.n_nodes).map(move |n| entry.map_or(State::I, |e| e.get(n)))
     }
 
     /// Records a directory lookup and returns the compact per-line view
@@ -323,6 +332,17 @@ impl DuplicateTagDirectory {
         self.updates
     }
 
+    /// Total valid copies tracked across all lines: the sum of holder
+    /// populations. For an inclusive hierarchy (SILO's vaults) this must
+    /// equal the sum of the per-node cache occupancies — the cross-layer
+    /// occupancy invariant checked by the `--check` oracle.
+    pub fn total_holders(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|e| u64::from(e.mask().count_ones()))
+            .sum()
+    }
+
     /// Checks the MOESI single-writer invariants for every tracked line.
     ///
     /// # Errors
@@ -330,7 +350,10 @@ impl DuplicateTagDirectory {
     /// Returns a description of the first violated invariant:
     /// * at most one node in an owner-like state (M/O/E);
     /// * M and E never coexist with any other valid copy;
-    /// * no fully-invalid entries survive (garbage collection).
+    /// * no fully-invalid entries survive (garbage collection);
+    /// * the cached holder mask equals the valid bits of the packed
+    ///   states;
+    /// * the cached owner equals the scanned owner-like node.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (line, e) in &self.entries {
             let states = e.unpack(self.n_nodes);
@@ -346,8 +369,61 @@ impl DuplicateTagDirectory {
             if exclusive && valid > 1 {
                 return Err(format!("{line}: M/E coexists with other copies"));
             }
+            // The cached mask and owner are redundant encodings of the
+            // packed states; a disagreement means an update path skipped
+            // the incremental maintenance.
+            let scanned_mask = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_valid())
+                .fold(0u64, |m, (n, _)| m | 1u64 << n);
+            if e.mask() != scanned_mask {
+                return Err(format!(
+                    "{line}: cached mask {:#x} != scanned {scanned_mask:#x}",
+                    e.mask()
+                ));
+            }
+            let scanned_owner = states
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.is_ownerlike())
+                .map(|(n, &s)| (n, s));
+            if e.owner() != scanned_owner {
+                return Err(format!(
+                    "{line}: cached owner {:?} != scanned {scanned_owner:?}",
+                    e.owner()
+                ));
+            }
         }
         Ok(())
+    }
+
+    /// Test-only: installs a raw entry whose packed states, cached mask,
+    /// and cached owner are set *independently*, bypassing the
+    /// maintenance in [`DuplicateTagDirectory::set_state`] — so tests can
+    /// construct the corrupt configurations (stale mask, stale owner,
+    /// double writer) that `check_invariants` must reject.
+    #[cfg(test)]
+    fn install_raw_entry(
+        &mut self,
+        line: LineAddr,
+        states: &[State],
+        cached_mask: u64,
+        cached_owner: Option<(u8, State)>,
+    ) {
+        assert_eq!(states.len(), self.n_nodes);
+        let mut e = Entry::empty(self.n_nodes);
+        for (n, &s) in states.iter().enumerate() {
+            e.set(n, s);
+        }
+        match &mut e {
+            Entry::Small { mask, .. } => {
+                *mask = u16::try_from(cached_mask).expect("small entry mask fits u16");
+            }
+            Entry::Large(le) => le.mask = cached_mask,
+        }
+        e.set_owner(cached_owner);
+        self.entries.insert(line, e);
     }
 
     /// Iterates over tracked lines and their (unpacked) state vectors.
@@ -495,6 +571,149 @@ mod tests {
         assert_eq!(d.first_holder_except(LineAddr::new(7), 0), Some(17));
         assert_eq!(d.lookup(LineAddr::new(7)).len(), 32);
         assert!(d.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn lookup_states_matches_lookup_and_counts_once() {
+        let mut d = DuplicateTagDirectory::new(4);
+        d.set_state(LineAddr::new(11), 1, State::O);
+        d.set_state(LineAddr::new(11), 3, State::S);
+        let via_iter: Vec<State> = d.lookup_states(LineAddr::new(11)).collect();
+        let via_vec = d.lookup(LineAddr::new(11));
+        assert_eq!(via_iter, via_vec);
+        assert_eq!(via_iter, vec![State::I, State::O, State::I, State::S]);
+        assert_eq!(d.lookups(), 2, "each lookup flavour counts once");
+        // Absent lines iterate all-I without creating an entry.
+        assert_eq!(
+            d.lookup_states(LineAddr::new(99))
+                .filter(|s| s.is_valid())
+                .count(),
+            0
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn total_holders_sums_valid_copies() {
+        let mut d = DuplicateTagDirectory::new(4);
+        assert_eq!(d.total_holders(), 0);
+        d.set_state(LineAddr::new(1), 0, State::O);
+        d.set_state(LineAddr::new(1), 2, State::S);
+        d.set_state(LineAddr::new(2), 3, State::M);
+        assert_eq!(d.total_holders(), 3);
+        d.set_state(LineAddr::new(1), 2, State::I);
+        assert_eq!(d.total_holders(), 2);
+    }
+
+    /// Small-form corruption: each distinct `check_invariants` error
+    /// message fires for a deliberately inconsistent packed entry.
+    #[test]
+    fn small_entry_corruptions_name_each_invariant() {
+        let l = LineAddr::new(77);
+        // Two M holders (consistent caches, broken protocol).
+        let mut d = DuplicateTagDirectory::new(4);
+        d.install_raw_entry(
+            l,
+            &[State::M, State::M, State::I, State::I],
+            0b0011,
+            Some((0, State::M)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("2 owner-like copies"), "{e}");
+
+        // O holder whose mask bit was dropped (stale cached mask).
+        let mut d = DuplicateTagDirectory::new(4);
+        d.install_raw_entry(
+            l,
+            &[State::O, State::S, State::I, State::I],
+            0b0010,
+            Some((0, State::O)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("cached mask"), "{e}");
+
+        // Cached owner pointing at a node that no longer owns.
+        let mut d = DuplicateTagDirectory::new(4);
+        d.install_raw_entry(
+            l,
+            &[State::S, State::S, State::I, State::I],
+            0b0011,
+            Some((1, State::M)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("cached owner"), "{e}");
+
+        // All-invalid entry that survived garbage collection.
+        let mut d = DuplicateTagDirectory::new(4);
+        d.install_raw_entry(l, &[State::I; 4], 0, None);
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("empty entry not collected"), "{e}");
+
+        // M coexisting with a sharer (caches consistent, SWMR broken).
+        let mut d = DuplicateTagDirectory::new(4);
+        d.install_raw_entry(
+            l,
+            &[State::M, State::S, State::I, State::I],
+            0b0011,
+            Some((0, State::M)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("M/E coexists"), "{e}");
+    }
+
+    /// The same corruptions through the boxed Large form (> 16 nodes),
+    /// at node ids beyond the Small range.
+    #[test]
+    fn large_entry_corruptions_name_each_invariant() {
+        let l = LineAddr::new(88);
+        let n = 20;
+        let vec_with = |pairs: &[(usize, State)]| {
+            let mut v = vec![State::I; n];
+            for &(i, s) in pairs {
+                v[i] = s;
+            }
+            v
+        };
+
+        let mut d = DuplicateTagDirectory::new(n);
+        d.install_raw_entry(
+            l,
+            &vec_with(&[(17, State::M), (19, State::M)]),
+            1 << 17 | 1 << 19,
+            Some((17, State::M)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("2 owner-like copies"), "{e}");
+
+        let mut d = DuplicateTagDirectory::new(n);
+        d.install_raw_entry(
+            l,
+            &vec_with(&[(18, State::O), (3, State::S)]),
+            1 << 3,
+            Some((18, State::O)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("cached mask"), "{e}");
+
+        let mut d = DuplicateTagDirectory::new(n);
+        d.install_raw_entry(
+            l,
+            &vec_with(&[(2, State::S), (19, State::S)]),
+            1 << 2 | 1 << 19,
+            Some((19, State::M)),
+        );
+        let e = d.check_invariants().unwrap_err();
+        assert!(e.contains("cached owner"), "{e}");
+    }
+
+    #[test]
+    fn well_formed_states_pass_the_extended_invariants() {
+        let mut d = DuplicateTagDirectory::new(20);
+        d.set_state(LineAddr::new(1), 0, State::O);
+        d.set_state(LineAddr::new(1), 17, State::S);
+        d.set_state(LineAddr::new(2), 19, State::M);
+        d.set_state(LineAddr::new(3), 4, State::E);
+        d.check_invariants().unwrap();
     }
 
     #[test]

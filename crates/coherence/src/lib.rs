@@ -18,6 +18,8 @@
 //! access. The timing simulator (`silo-sim`) assigns cycles to those steps
 //! using the mesh, bank reservations, and system latencies.
 
+#![forbid(unsafe_code)]
+
 pub mod directory;
 pub mod mesi;
 pub mod moesi;

@@ -127,6 +127,18 @@ impl SharedMesi {
             .fold((0, 0), |(h, m), b| (h + b.hits(), m + b.misses()))
     }
 
+    /// True when `core`'s SRAM hierarchy holds the line. Read-only
+    /// introspection for the model checker.
+    pub fn sram_contains(&self, core: usize, line: LineAddr) -> bool {
+        self.nodes[core].contains(line)
+    }
+
+    /// The LLC's view of `line`: `Some(dirty)` when a bank holds it.
+    /// Read-only: no hit/miss or recency accounting.
+    pub fn llc_state(&self, line: LineAddr) -> Option<bool> {
+        self.banks[self.bank_of(line)].peek(line).copied()
+    }
+
     /// Executes one memory reference from `core`.
     ///
     /// # Panics
@@ -375,6 +387,15 @@ impl SharedMesi {
     /// Returns a description of the first violation found.
     pub fn check(&self) -> Result<(), String> {
         self.dir.check_invariants()?;
+        for (bank, b) in self.banks.iter().enumerate() {
+            if b.len() as u64 > b.capacity_lines() {
+                return Err(format!(
+                    "bank {bank}: {} resident lines exceed capacity {}",
+                    b.len(),
+                    b.capacity_lines()
+                ));
+            }
+        }
         for (line, states) in self.dir.iter() {
             for (core, s) in states.iter().enumerate() {
                 if *s == State::O {

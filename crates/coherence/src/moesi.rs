@@ -124,9 +124,35 @@ impl PrivateMoesi {
         &self.dir
     }
 
+    /// Whether dirty reads forward through the O state (the paper's
+    /// protocol) instead of writing back to memory (`silo-no-forward`).
+    pub fn o_state_forwarding(&self) -> bool {
+        self.o_state_forwarding
+    }
+
     /// Vault hit/miss counters of one core.
     pub fn vault_stats(&self, core: usize) -> (u64, u64) {
         (self.vaults[core].hits(), self.vaults[core].misses())
+    }
+
+    /// True when `core`'s SRAM hierarchy (L1-I, L1-D, or L2) holds the
+    /// line. Read-only introspection for the model checker.
+    pub fn sram_contains(&self, core: usize, line: LineAddr) -> bool {
+        self.nodes[core].contains(line)
+    }
+
+    /// The coherence state of `line` in `core`'s vault (I when absent).
+    /// Read-only: no hit/miss accounting.
+    pub fn vault_state(&self, core: usize, line: LineAddr) -> State {
+        self.vaults[core].peek(line).copied().unwrap_or(State::I)
+    }
+
+    /// Total lines resident across all vaults. Under vault/directory
+    /// agreement this equals [`DuplicateTagDirectory::total_holders`] —
+    /// the cheap cross-layer occupancy invariant the `--check` oracle
+    /// replays every N references.
+    pub fn vault_occupancy(&self) -> u64 {
+        self.vaults.iter().map(|v| v.len() as u64).sum()
     }
 
     /// Executes one memory reference from `core` and returns the protocol
@@ -396,6 +422,12 @@ impl PrivateMoesi {
     /// Returns a description of the first violation found.
     pub fn check(&self) -> Result<(), String> {
         self.dir.check_invariants()?;
+        let (occ, tracked) = (self.vault_occupancy(), self.dir.total_holders());
+        if occ != tracked {
+            return Err(format!(
+                "occupancy: vaults hold {occ} lines, directory tracks {tracked}"
+            ));
+        }
         for (core, vault) in self.vaults.iter().enumerate() {
             for (line, &state) in vault.iter() {
                 let dstate = self.dir.state_of(line, core);

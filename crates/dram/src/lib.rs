@@ -23,6 +23,8 @@
 //! assert!(fast < slow);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod tech;
 pub mod timing;
 pub mod vault;

@@ -117,12 +117,12 @@ impl BankArray {
 
     /// Total accesses across all banks.
     pub fn total_accesses(&self) -> u64 {
-        self.banks.iter().map(|b| b.accesses()).sum()
+        self.banks.iter().map(BankedResource::accesses).sum()
     }
 
     /// Total busy cycles across all banks.
     pub fn total_busy_cycles(&self) -> u64 {
-        self.banks.iter().map(|b| b.busy_cycles()).sum()
+        self.banks.iter().map(BankedResource::busy_cycles).sum()
     }
 
     /// Clears all reservations and statistics.

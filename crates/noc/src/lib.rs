@@ -9,6 +9,8 @@
 //! per-link traffic accounting layer exposes utilization statistics for
 //! the interconnect-pressure discussion of Sec. V-D.
 
+#![forbid(unsafe_code)]
+
 use silo_types::{Cycles, LineAddr};
 
 /// A node coordinate in the mesh.

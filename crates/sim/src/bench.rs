@@ -20,7 +20,7 @@
 use crate::config::{SystemConfig, VaultDesign};
 use crate::error::ConfigError;
 use crate::json::Json;
-use crate::registry::{run_system_on_source_metered, SystemSpec};
+use crate::registry::{run_system_on_source_checked, run_system_on_source_metered, SystemSpec};
 use crate::run::RunStats;
 use crate::workload::{SyntheticTrace, WorkloadSpec};
 use silo_coherence::ServedBy;
@@ -62,6 +62,14 @@ pub struct SweepSpec {
     /// Telemetry meter applied to every run: warmup window and epoch
     /// sampling (disabled by default).
     pub meter: MeterConfig,
+    /// Run-time invariant oracle period: `Some(n)` replays the engine
+    /// and cross-layer invariants every `n` processed references of
+    /// every run (`--check`). `None` (the default) compiles the checks
+    /// out of the hot loop entirely. Deliberately *not* part of
+    /// [`MeterConfig`]: the meter is echoed into the `silo-bench/v1`
+    /// document, and checked runs must stay byte-identical to unchecked
+    /// ones.
+    pub check_every: Option<u64>,
 }
 
 impl SweepSpec {
@@ -178,7 +186,11 @@ impl BenchRecord {
 /// # Panics
 ///
 /// Panics if the point resolves to an invalid config or a replay file
-/// vanished since validation; the builder API checks both up front.
+/// vanished since validation (the builder API checks both up front), or
+/// — under [`SweepSpec::check_every`] — when the invariant oracle
+/// detects a violation. An oracle panic is a simulator bug, never a
+/// workload problem; the message names the system, workload, and
+/// reference count at detection.
 pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
     let cfg = point.config(&spec.base);
     cfg.validate().expect("sweep axes validated at build time");
@@ -191,13 +203,29 @@ pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
                 .source(cfg.cores, cfg.scale, spec.seed)
                 .expect("workload sources validated at build time");
             let t = Instant::now();
-            let (stats, telemetry) = run_system_on_source_metered(
-                sys,
-                &cfg,
-                &point.workload.name,
-                &mut *source,
-                &spec.meter,
-            );
+            let (stats, telemetry) = match spec.check_every {
+                None => run_system_on_source_metered(
+                    sys,
+                    &cfg,
+                    &point.workload.name,
+                    &mut *source,
+                    &spec.meter,
+                ),
+                Some(every) => run_system_on_source_checked(
+                    sys,
+                    &cfg,
+                    &point.workload.name,
+                    &mut *source,
+                    &spec.meter,
+                    every,
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "--check detected a simulator bug on workload '{}': {e}",
+                        point.workload.name
+                    )
+                }),
+            };
             SystemRun {
                 stats,
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
@@ -538,6 +566,7 @@ mod tests {
             }],
             seed: 5,
             meter: MeterConfig::default(),
+            check_every: None,
         }
     }
 

@@ -42,8 +42,7 @@ impl Simulation {
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
+                .map_or(4, std::num::NonZeroUsize::get)
                 .max(4)
         })
     }
@@ -80,6 +79,7 @@ pub struct SimulationBuilder {
     threads: Option<usize>,
     warmup: Option<u64>,
     epoch: Option<u64>,
+    check: Option<u64>,
 }
 
 impl Default for SimulationBuilder {
@@ -99,6 +99,7 @@ impl Default for SimulationBuilder {
             threads: None,
             warmup: None,
             epoch: None,
+            check: None,
         }
     }
 }
@@ -220,6 +221,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the run-time invariant oracle (`--check`): every `refs`
+    /// processed references each run replays the engine's structural
+    /// invariants plus the loop's cross-layer assertions, panicking on
+    /// the first violation (a simulator bug). Off by default; when off,
+    /// the checks are compiled out of the hot loop and the results of a
+    /// later checked run are bit-identical.
+    pub fn check_every(mut self, refs: u64) -> Self {
+        self.check = Some(refs);
+        self
+    }
+
     /// Merges a parsed [`Scenario`] into the builder: every field the
     /// scenario sets replaces the builder's current value, so apply the
     /// scenario first and explicit overrides after.
@@ -256,6 +268,9 @@ impl SimulationBuilder {
         }
         if let Some(v) = s.epoch {
             self.epoch = Some(v);
+        }
+        if let Some(v) = s.check {
+            self.check = Some(v);
         }
         self
     }
@@ -317,6 +332,13 @@ impl SimulationBuilder {
                 reason: "must be at least 1 reference per epoch".into(),
             });
         }
+        if self.check == Some(0) {
+            return Err(ConfigError::BadValue {
+                what: "check".into(),
+                value: "0".into(),
+                reason: "must be at least 1 reference between oracle sweeps".into(),
+            });
+        }
         // Reject runs whose measurement window is provably empty — a
         // warmup window that swallows every reference — instead of
         // reporting undefined IPC and speedups. Trace workloads were
@@ -354,6 +376,7 @@ impl SimulationBuilder {
                     warmup_refs: self.warmup.unwrap_or(0),
                     epoch_refs: self.epoch,
                 },
+                check_every: self.check,
             },
             threads: self.threads,
         })

@@ -5,6 +5,8 @@
 //! (cores × scale × mlp × vault design), or a declarative
 //! `--scenario` file, with machine-readable JSON output.
 
+#![forbid(unsafe_code)]
+
 use silo_sim::bench::{self, BenchRecord, SweepSpec};
 use silo_sim::{ConfigError, Scenario, Simulation, SystemRegistry, SystemSpec, WorkloadSpec};
 use std::path::{Path, PathBuf};
@@ -28,12 +30,24 @@ USAGE:
                                  silo-hotloop/v1 trajectory file),
                                  --compare PATH (print refs/sec deltas vs
                                  the file's last snapshot)
+    silo-sim check [OPTIONS]     exhaustive model checking: explore every
+                                 reachable protocol state of a bounded
+                                 world by BFS and assert the coherence
+                                 invariants (SWMR, single owner, dirty
+                                 ownership, directory agreement, packed
+                                 roundtrip, forward policy) on each state
+                                 and transition. Exits 1 on a violation,
+                                 printing its counterexample trace.
+                                 Options: --systems a,b,c (default: all
+                                 builtins), --nodes N (default 4),
+                                 --max-states N (default 60000),
+                                 --json PATH (write silo-check/v1 JSON)
 
 OPTIONS:
     --scenario FILE      load a declarative scenario file (key = value:
                          systems, workloads, cores, scale, mlp, vault,
-                         seed, refs, threads, warmup, epoch); flags
-                         override it
+                         seed, refs, threads, warmup, epoch, check);
+                         flags override it
     --systems a,b,c      systems to compare (default SILO,baseline;
                          see --list-systems)
     --cores N            cores / mesh nodes (default 16, max 64)
@@ -61,6 +75,12 @@ OPTIONS:
                          percentiles, link utilization, vault occupancy)
     --timeline PATH      write the per-epoch timeline CSV (needs --epoch
                          or a scenario 'epoch =' key)
+    --check N            run-time invariant oracle: every N references,
+                         re-verify the engine's structural invariants
+                         (directory consistency, occupancy accounting)
+                         and the run loop's cross-layer assertions
+                         (MSHR bounds, counter monotonicity); results
+                         stay bit-identical to an unchecked run
     --list-systems       list registered systems and exit
     --list-workloads     list workload presets and the custom-spec
                          grammar, then exit (alias: --list)
@@ -101,6 +121,7 @@ struct Cli {
     json: Option<PathBuf>,
     warmup: Option<u64>,
     epoch: Option<u64>,
+    check: Option<u64>,
     timeline: Option<PathBuf>,
     record_traces: Option<PathBuf>,
 }
@@ -166,6 +187,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
                 run_bench(args)?;
                 return Ok(None);
             }
+            if arg == "check" {
+                run_check(args)?;
+                return Ok(None);
+            }
         }
         match arg.as_str() {
             "--scenario" => {
@@ -207,6 +232,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
             }
             "--warmup" => cli.warmup = Some(parse_value("--warmup", args.next())?),
             "--epoch" => cli.epoch = Some(parse_value("--epoch", args.next())?),
+            "--check" => cli.check = Some(parse_value("--check", args.next())?),
             "--timeline" => {
                 let p: String = parse_value("--timeline", args.next())?;
                 cli.timeline = Some(PathBuf::from(p));
@@ -274,7 +300,7 @@ fn print_trace_info(path: &Path) -> Result<(), ConfigError> {
         path: path.display().to_string(),
         message: e.to_string(),
     })?;
-    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
     let h = &summary.header;
     println!("trace:        {}", path.display());
     println!("format:       silotrace v{}", silo_trace::VERSION);
@@ -399,6 +425,214 @@ fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
     Ok(())
 }
 
+/// `silo-sim check`: exhaustive model checking of the registered
+/// protocols over a bounded world. Each system's reachable state space
+/// is explored by BFS over all interleavings of per-node
+/// {read, write, evict} operations, asserting the coherence safety
+/// invariants on every state and transition. Writes `silo-check/v1`
+/// JSON with `--json` and exits 1 when any system reports a violation,
+/// printing the counterexample's operation trace.
+fn run_check(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> {
+    use silo_check::{baseline_world, explore, CheckReport, WorldParams};
+
+    let mut systems: Vec<String> = ["SILO", "baseline", "silo-no-forward", "baseline-2x"]
+        .map(String::from)
+        .to_vec();
+    let mut params = WorldParams::default();
+    let mut json: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--systems" => systems = parse_name_list("--systems", args.next())?,
+            "--nodes" => params.nodes = parse_value("--nodes", args.next())?,
+            "--max-states" => params.max_states = parse_value("--max-states", args.next())?,
+            "--json" => json = Some(PathBuf::from(parse_value::<String>("--json", args.next())?)),
+            other => return Err(bad("check argument", other, "unknown option")),
+        }
+    }
+    if !(2..=16).contains(&params.nodes) {
+        return Err(bad(
+            "--nodes",
+            params.nodes.to_string(),
+            "the bounded world supports 2..=16 nodes",
+        ));
+    }
+    if params.max_states == 0 {
+        return Err(bad("--max-states", "0", "needs at least one state"));
+    }
+
+    let mut reports: Vec<CheckReport> = Vec::new();
+    for name in &systems {
+        let report = match name.to_ascii_lowercase().as_str() {
+            "silo" => {
+                let (factory, world) = silo_check::silo_world(params, true);
+                explore("SILO", factory, &world)
+            }
+            "silo-no-forward" => {
+                let (factory, world) = silo_check::silo_world(params, false);
+                explore("silo-no-forward", factory, &world)
+            }
+            "baseline" => {
+                let (factory, world) = baseline_world(params, 1);
+                explore("baseline", factory, &world)
+            }
+            "baseline-2x" => {
+                let (factory, world) = baseline_world(params, 2);
+                explore("baseline-2x", factory, &world)
+            }
+            _ => {
+                return Err(bad(
+                    "--systems",
+                    name.clone(),
+                    "model checking covers the builtins: \
+                     SILO, baseline, silo-no-forward, baseline-2x",
+                ))
+            }
+        };
+        print_check_report(&report);
+        reports.push(report);
+    }
+
+    if let Some(path) = &json {
+        let doc = check_json(&params, &reports);
+        std::fs::write(path, format!("{doc}\n")).map_err(|e| {
+            bad(
+                "--json",
+                path.display().to_string(),
+                format!("cannot write: {e}"),
+            )
+        })?;
+        println!("wrote {} report(s) to {}", reports.len(), path.display());
+    }
+
+    let bad_systems: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.ok())
+        .map(|r| r.system.as_str())
+        .collect();
+    if bad_systems.is_empty() {
+        let states: u64 = reports.iter().map(|r| r.states).sum();
+        println!(
+            "all invariants hold: {} system(s), {} states total",
+            reports.len(),
+            states
+        );
+        Ok(())
+    } else {
+        eprintln!("invariant violations in: {}", bad_systems.join(", "));
+        std::process::exit(1);
+    }
+}
+
+/// Prints one system's exploration summary (and, on a violation, the
+/// counterexample trace) in a human-readable form.
+fn print_check_report(r: &silo_check::CheckReport) {
+    println!(
+        "{}: {} states, {} transitions, depth {}, {} nodes x {} lines{}",
+        r.system,
+        r.states,
+        r.transitions,
+        r.max_depth,
+        r.nodes,
+        r.lines,
+        if r.exhausted {
+            " (exhaustive)"
+        } else {
+            " (truncated by --max-states)"
+        }
+    );
+    for inv in &r.invariants {
+        println!(
+            "  {:<22} checked {:>8}  violations {}",
+            inv.name, inv.checked, inv.violations
+        );
+    }
+    for d in &r.deviations {
+        println!(
+            "  expected deviation: {} ({}x)",
+            d.description, d.occurrences
+        );
+    }
+    if let Some(cex) = &r.counterexample {
+        println!("  VIOLATION of '{}': {}", cex.invariant, cex.message);
+        println!("  counterexample ({} ops):", cex.trace.len());
+        for step in &cex.trace {
+            println!("    {step}");
+        }
+    }
+    println!();
+}
+
+/// Renders the `silo-check/v1` document: world parameters plus one
+/// report object per checked system.
+fn check_json(
+    params: &silo_check::WorldParams,
+    reports: &[silo_check::CheckReport],
+) -> silo_sim::Json {
+    use silo_sim::Json;
+    let systems = reports
+        .iter()
+        .map(|r| {
+            let invariants = r
+                .invariants
+                .iter()
+                .map(|i| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(i.name.into())),
+                        ("checked".into(), Json::Int(i.checked.into())),
+                        ("violations".into(), Json::Int(i.violations.into())),
+                    ])
+                })
+                .collect();
+            let deviations = r
+                .deviations
+                .iter()
+                .map(|d| {
+                    Json::Obj(vec![
+                        ("description".into(), Json::Str(d.description.clone())),
+                        ("occurrences".into(), Json::Int(d.occurrences.into())),
+                    ])
+                })
+                .collect();
+            let counterexample = r.counterexample.as_ref().map_or(Json::Null, |cex| {
+                let trace = cex
+                    .trace
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("op".into(), Json::Str(s.op.to_string())),
+                            ("state".into(), Json::Int(s.state.into())),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("invariant".into(), Json::Str(cex.invariant.into())),
+                    ("message".into(), Json::Str(cex.message.clone())),
+                    ("trace".into(), Json::Arr(trace)),
+                ])
+            });
+            Json::Obj(vec![
+                ("system".into(), Json::Str(r.system.clone())),
+                ("nodes".into(), Json::Int(r.nodes as i128)),
+                ("lines".into(), Json::Int(r.lines as i128)),
+                ("states".into(), Json::Int(r.states.into())),
+                ("transitions".into(), Json::Int(r.transitions.into())),
+                ("max_depth".into(), Json::Int(r.max_depth.into())),
+                ("exhausted".into(), Json::Bool(r.exhausted)),
+                ("ok".into(), Json::Bool(r.ok())),
+                ("invariants".into(), Json::Arr(invariants)),
+                ("deviations".into(), Json::Arr(deviations)),
+                ("counterexample".into(), counterexample),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("silo-check/v1".into())),
+        ("nodes".into(), Json::Int(params.nodes as i128)),
+        ("max_states".into(), Json::Int(params.max_states as i128)),
+        ("systems".into(), Json::Arr(systems)),
+    ])
+}
+
 /// Assembles the builder from scenario + flags (flags win) and builds.
 fn build_simulation(cli: &Cli) -> Result<Simulation, ConfigError> {
     let mut b = Simulation::builder();
@@ -446,6 +680,9 @@ fn build_simulation(cli: &Cli) -> Result<Simulation, ConfigError> {
     }
     if let Some(epoch) = cli.epoch {
         b = b.epoch_refs(epoch);
+    }
+    if let Some(check) = cli.check {
+        b = b.check_every(check);
     }
     let sim = b.build()?;
     if cli.timeline.is_some() && sim.spec().meter.epoch_refs.is_none() {

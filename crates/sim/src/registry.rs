@@ -18,7 +18,10 @@
 //! * `baseline-2x` — the baseline with doubled aggregate LLC capacity.
 
 use crate::config::SystemConfig;
-use crate::run::{baseline_engine, run_metered_source, silo_engine, AnyEngine, RunStats};
+use crate::run::{
+    baseline_engine, run_metered_source, run_metered_source_checked, silo_engine, AnyEngine,
+    RunStats,
+};
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
 use silo_telemetry::{MeterConfig, Telemetry};
@@ -261,6 +264,39 @@ pub fn run_system_on_source_metered(
     );
     stats.system = sys.name().to_string();
     (stats, telemetry)
+}
+
+/// [`run_system_on_source_metered`] with the run-time invariant oracle
+/// enabled: every `check_every` references the engine's structural
+/// invariants and the loop's cross-layer assertions are replayed (see
+/// [`crate::run_metered_source_checked`]). Clean runs return results
+/// bit-identical to the unchecked path.
+///
+/// # Errors
+///
+/// Returns the first invariant violation, naming the system and the
+/// reference count at detection. A violation indicates a simulator bug.
+pub fn run_system_on_source_checked(
+    sys: &SystemSpec,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+    check_every: u64,
+) -> Result<(RunStats, Telemetry), String> {
+    let mut inst = sys.instantiate(cfg);
+    let (mut stats, telemetry) = run_metered_source_checked(
+        &mut inst.engine,
+        &mut inst.timing,
+        cfg,
+        workload_name,
+        source,
+        meter,
+        check_every,
+    )
+    .map_err(|e| format!("{}: invariant violation {e}", sys.name()))?;
+    stats.system = sys.name().to_string();
+    Ok((stats, telemetry))
 }
 
 #[cfg(test)]

@@ -59,6 +59,16 @@ pub trait Protocol {
     /// Zeroes the coherence event counters without touching protocol
     /// state (the warmup/measurement boundary).
     fn reset_coherence_stats(&mut self);
+    /// Verifies the engine's structural invariants (directory caches,
+    /// cache/directory agreement, occupancy). Called by the `--check`
+    /// oracle; the default accepts everything so custom engines opt in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl Protocol for PrivateMoesi {
@@ -82,6 +92,9 @@ impl Protocol for PrivateMoesi {
     fn reset_coherence_stats(&mut self) {
         self.reset_stats();
     }
+    fn check_invariants(&self) -> Result<(), String> {
+        self.check()
+    }
 }
 
 impl Protocol for SharedMesi {
@@ -104,6 +117,9 @@ impl Protocol for SharedMesi {
     }
     fn reset_coherence_stats(&mut self) {
         self.reset_stats();
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        self.check()
     }
 }
 
@@ -166,6 +182,13 @@ impl Protocol for AnyEngine {
             AnyEngine::Silo(e) => e.reset_coherence_stats(),
             AnyEngine::Baseline(e) => e.reset_coherence_stats(),
             AnyEngine::Custom(e) => e.reset_coherence_stats(),
+        }
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            AnyEngine::Silo(e) => e.check(),
+            AnyEngine::Baseline(e) => e.check(),
+            AnyEngine::Custom(e) => e.check_invariants(),
         }
     }
 }
@@ -594,6 +617,71 @@ fn end_warmup<P: Protocol + ?Sized>(
     }
 }
 
+/// Cumulative-counter snapshot the `--check` oracle compares against:
+/// these counters are monotone by construction (never reset, not even at
+/// the warmup boundary — the measurement window subtracts a baseline
+/// instead), so any decrease means corrupted accounting.
+#[derive(Clone, Copy, Debug, Default)]
+struct OracleBase {
+    mesh_messages: u64,
+    mesh_hops: u64,
+    memory_accesses: u64,
+    vault_busy: u64,
+}
+
+impl OracleBase {
+    fn capture(timing: &TimingModel) -> Self {
+        OracleBase {
+            mesh_messages: timing.mesh().messages(),
+            mesh_hops: timing.mesh().total_hops(),
+            memory_accesses: timing.memory_accesses(),
+            vault_busy: timing.vault_busy_cycles(),
+        }
+    }
+}
+
+/// One oracle sweep: the engine's own structural invariants, the MSHR
+/// occupancy bound, and monotonicity of the cumulative timing counters.
+/// `#[cold]` keeps it off the hot loop's inlining budget — with
+/// checking disabled the call site is compiled out entirely.
+#[cold]
+fn oracle_sweep<P: Protocol + ?Sized>(
+    engine: &P,
+    timing: &TimingModel,
+    cores: &[CoreState],
+    mlp: usize,
+    processed: u64,
+    prev: &mut OracleBase,
+) -> Result<(), String> {
+    engine
+        .check_invariants()
+        .map_err(|e| format!("after {processed} refs: {e}"))?;
+    for (c, core) in cores.iter().enumerate() {
+        if core.mshrs.len > mlp {
+            return Err(format!(
+                "after {processed} refs: core {c} holds {} in-flight misses, MSHR limit {mlp}",
+                core.mshrs.len
+            ));
+        }
+    }
+    let cur = OracleBase::capture(timing);
+    let monotone = [
+        ("mesh messages", prev.mesh_messages, cur.mesh_messages),
+        ("mesh hops", prev.mesh_hops, cur.mesh_hops),
+        ("memory accesses", prev.memory_accesses, cur.memory_accesses),
+        ("vault busy cycles", prev.vault_busy, cur.vault_busy),
+    ];
+    for (name, before, now) in monotone {
+        if now < before {
+            return Err(format!(
+                "after {processed} refs: cumulative {name} went backwards ({before} -> {now})"
+            ));
+        }
+    }
+    *prev = cur;
+    Ok(())
+}
+
 /// The streaming core of the simulation: [`run_metered`] over a
 /// [`TraceSource`]. Cores are interleaved round-robin — one reference
 /// per live core per turn — until every core's stream is exhausted,
@@ -608,6 +696,61 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
     source: &mut dyn TraceSource,
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry) {
+    match run_core::<P, false>(engine, timing, cfg, workload_name, source, meter, 0) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unchecked runs cannot fail: {e}"),
+    }
+}
+
+/// [`run_metered_source`] with the run-time invariant oracle enabled:
+/// every `check_every` processed references it replays the engine's
+/// structural invariants plus the loop's own cross-layer assertions
+/// and aborts the run with a located error on the first violation.
+///
+/// The oracle only observes — it never mutates simulated state — so a
+/// clean checked run returns statistics and telemetry **bit-identical**
+/// to the unchecked path (the golden `check_oracle` test pins this).
+/// The unchecked path is monomorphized with checking compiled out, so
+/// leaving `--check` off costs nothing.
+///
+/// # Errors
+///
+/// Returns the first invariant violation, prefixed with the number of
+/// references processed when it was detected. A violation indicates a
+/// simulator bug, not a workload problem.
+pub fn run_metered_source_checked<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+    check_every: u64,
+) -> Result<(RunStats, Telemetry), String> {
+    run_core::<P, true>(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        source,
+        meter,
+        check_every.max(1),
+    )
+}
+
+/// The shared implementation behind the checked and unchecked entry
+/// points. `CHECKED` is a const generic so the oracle branch vanishes
+/// from the unchecked monomorphization instead of costing a
+/// per-reference test.
+fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+    check_every: u64,
+) -> Result<(RunStats, Telemetry), String> {
     let mut cores: Vec<CoreState> = (0..cfg.cores).map(|_| CoreState::new(cfg.mlp)).collect();
     let mut served = ServedCounts::default();
     let mut llc_accesses = 0u64;
@@ -619,6 +762,7 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
     let mut base = MeasureBase::default();
     let mut processed = 0u64;
     let mut warmup_pending = meter.warmup_refs > 0;
+    let mut oracle = OracleBase::capture(timing);
     // Hoisted once: a disabled timeline skips the per-reference
     // recording calls entirely, so the un-metered path touches no epoch
     // state inside the loop.
@@ -699,6 +843,9 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
             }
 
             processed += 1;
+            if CHECKED && processed % check_every == 0 {
+                oracle_sweep(&*engine, timing, &cores, cfg.mlp, processed, &mut oracle)?;
+            }
             if sampling {
                 timeline.record_ref(service_level(served_by), instructions, latency);
                 if timeline.epoch_full() {
@@ -780,7 +927,7 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
         recorder,
         timeline,
     };
-    (stats, telemetry)
+    Ok((stats, telemetry))
 }
 
 /// Builds and runs the SILO system over a workload (the concrete-type

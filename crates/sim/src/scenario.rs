@@ -20,6 +20,7 @@
 //! threads   = 4
 //! warmup    = 6400        # telemetry: refs of cache warmup (0 = off)
 //! epoch     = 16000       # telemetry: refs per timeline epoch
+//! check     = 50000       # invariant-oracle sweep period (refs)
 //! ```
 //!
 //! Workload lists use the same grammar as `--workloads`
@@ -60,6 +61,8 @@ pub struct Scenario {
     pub warmup: Option<u64>,
     /// Telemetry epoch length in references.
     pub epoch: Option<u64>,
+    /// Run-time invariant oracle period in references (`--check`).
+    pub check: Option<u64>,
 }
 
 fn err(line: usize, message: impl Into<String>) -> ConfigError {
@@ -211,6 +214,10 @@ impl Scenario {
                     dup(s.epoch.is_some())?;
                     s.epoch = Some(parse_scalar(n, "epoch", value)?);
                 }
+                "check" => {
+                    dup(s.check.is_some())?;
+                    s.check = Some(parse_scalar(n, "check", value)?);
+                }
                 other => return Err(err(n, format!("unknown key '{other}'"))),
             }
         }
@@ -254,7 +261,8 @@ mod tests {
              refs = 4000\n\
              threads = 2\n\
              warmup = 800\n\
-             epoch = 1000\n",
+             epoch = 1000\n\
+             check = 5000\n",
         )
         .expect("valid scenario");
         assert_eq!(
@@ -278,6 +286,7 @@ mod tests {
         assert_eq!(s.threads, Some(2));
         assert_eq!(s.warmup, Some(800));
         assert_eq!(s.epoch, Some(1000));
+        assert_eq!(s.check, Some(5000));
     }
 
     #[test]
@@ -299,6 +308,7 @@ mod tests {
             ("workload = zipf:bogus=1", "unknown parameter"),
             ("warmup = soon", "bad warmup value"),
             ("epoch = -5", "bad epoch value"),
+            ("check = never", "bad check value"),
             ("cores = ,", "at least one value"),
             ("systems = ,", "at least one value"),
             ("vault = ,", "at least one value"),

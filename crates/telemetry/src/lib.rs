@@ -21,6 +21,8 @@
 //! The crate depends only on `silo-types`, so every layer of the
 //! workspace (coherence, noc, dram, sim) can feed it without cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod recorder;
 pub mod timeline;
 

@@ -46,6 +46,8 @@
 //! from the recorded interleaving still works, but buffers the skipped
 //! records in between.
 
+#![forbid(unsafe_code)]
+
 mod reader;
 mod wire;
 mod writer;

@@ -19,6 +19,8 @@
 //! assert_eq!(CoreId::new(3).as_usize(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod stats;
 
