@@ -1,0 +1,876 @@
+//! The daemon: accept loop, priority point queue, bounded worker pool,
+//! write-ahead job journal, and the HTTP routes tying them together.
+//!
+//! A job arrives as a scenario body (`POST /jobs`), is planned by the
+//! [`JobEngine`] into an ordered list of sweep points, and each point
+//! becomes one queue entry keyed by its content hash. Points already in
+//! the [`RowCache`] are satisfied at submission without touching the
+//! queue; points another job is already computing are *subscribed to*
+//! rather than re-enqueued, so concurrent overlapping sweeps share
+//! work. Completed rows are written back to the cache, making every
+//! result durable the moment it exists.
+//!
+//! Durability is write-ahead: the submission body is journalled to
+//! `<cache>/queue/<id>.job` before any point runs and removed when the
+//! job finishes, so a crash (even `kill -9`) loses no accepted work —
+//! restarting with `resume` replays the journal and completed points
+//! come straight from the cache.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::cache::RowCache;
+use crate::http;
+use crate::{JobEngine, JobPlan};
+
+/// Subdirectory of the cache root holding the write-ahead job journal.
+const QUEUE_DIR: &str = "queue";
+/// How often blocked waiters re-check the shutdown flag.
+const WAIT_TICK: Duration = Duration::from_millis(200);
+
+/// Daemon configuration. `Default` gives sensible local-use values;
+/// the CLI overrides from flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads running sweep points.
+    pub workers: usize,
+    /// Maximum sweep points queued across all jobs; submissions that
+    /// would exceed it are rejected with 503 (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum simultaneously active (incomplete) jobs per client;
+    /// submissions over quota are rejected with 429.
+    pub client_quota: usize,
+    /// Root directory of the content-addressed row cache + journal.
+    pub cache_dir: PathBuf,
+    /// Maximum rows kept in the cache (oldest evicted beyond this);
+    /// zero disables caching.
+    pub cache_cap: usize,
+    /// Replay journalled jobs from a previous run at startup.
+    pub resume: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 2,
+            queue_capacity: 1024,
+            client_quota: 4,
+            cache_dir: PathBuf::from(".silo-serve"),
+            cache_cap: 100_000,
+            resume: false,
+        }
+    }
+}
+
+/// One queued sweep point. Ordering (for the max-heap): higher
+/// priority first, then older job, then lower point index — so a
+/// high-priority sweep preempts queued work but points within a job
+/// still complete in order.
+#[derive(Debug, PartialEq, Eq)]
+struct QueuedPoint {
+    priority: i64,
+    job: u64,
+    idx: usize,
+    key: String,
+}
+
+impl Ord for QueuedPoint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.job.cmp(&self.job))
+            .then_with(|| other.idx.cmp(&self.idx))
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for QueuedPoint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Where a job is in its lifecycle.
+enum JobPhase {
+    Active,
+    Complete,
+    Failed(String),
+}
+
+/// Everything the daemon tracks about one job.
+struct JobState<J> {
+    client: String,
+    job: Arc<J>,
+    sweep_hash: String,
+    /// Completed row text per point, filled as points finish.
+    rows: Vec<Option<String>>,
+    done: usize,
+    /// Points satisfied from the cache at submission.
+    cached: usize,
+    phase: JobPhase,
+}
+
+/// Mutable daemon state behind the mutex.
+struct State<J> {
+    next_job: u64,
+    queue: BinaryHeap<QueuedPoint>,
+    jobs: HashMap<u64, JobState<J>>,
+    /// Content key -> subscribers `(job, point index)` awaiting it.
+    /// Presence means the point is queued or running; later jobs
+    /// needing the same key subscribe instead of re-enqueueing.
+    inflight: HashMap<String, Vec<(u64, usize)>>,
+    /// Active (incomplete) job count per client, for quota checks.
+    active_jobs: HashMap<String, usize>,
+}
+
+/// Shared daemon internals: engine, cache, state, and wakeups.
+struct Shared<E: JobEngine> {
+    engine: E,
+    cache: RowCache,
+    cfg: ServeConfig,
+    bound: SocketAddr,
+    state: Mutex<State<E::Job>>,
+    /// Signals workers that the queue grew.
+    work_cv: Condvar,
+    /// Signals result/stream waiters that rows landed.
+    row_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Points actually computed by `run_point` (not cache hits) —
+    /// the counter the zero-recompute acceptance test watches.
+    computed: AtomicU64,
+    /// Points satisfied from the cache or by inflight sharing.
+    cache_hits: AtomicU64,
+}
+
+impl<E: JobEngine> Shared<E> {
+    fn lock_state(&self) -> MutexGuard<'_, State<E::Job>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn journal_path(&self, id: u64) -> PathBuf {
+        self.cfg.cache_dir.join(QUEUE_DIR).join(format!("{id}.job"))
+    }
+}
+
+/// A running daemon: bound address plus the accept/worker threads.
+pub struct ServerHandle<E: JobEngine> {
+    shared: Arc<Shared<E>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<E: JobEngine> ServerHandle<E> {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.bound
+    }
+
+    /// Sweep points computed (cache misses run to completion).
+    pub fn points_computed(&self) -> u64 {
+        self.shared.computed.load(Ordering::Relaxed)
+    }
+
+    /// Sweep points served from the cache or shared inflight work.
+    pub fn points_cached(&self) -> u64 {
+        self.shared.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Initiates graceful shutdown: running points finish and persist,
+    /// queued points stay journalled for a later `resume`.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Blocks until the accept loop and all workers have exited.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the daemon: binds, opens the cache, optionally replays the
+/// journal, then spawns the worker pool and accept loop.
+///
+/// # Errors
+///
+/// Propagates bind and cache-directory I/O failures.
+pub fn start<E: JobEngine>(engine: E, cfg: ServeConfig) -> io::Result<ServerHandle<E>> {
+    let cache = RowCache::open(&cfg.cache_dir, cfg.cache_cap)?;
+    std::fs::create_dir_all(cfg.cache_dir.join(QUEUE_DIR))?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let bound = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        cache,
+        bound,
+        state: Mutex::new(State {
+            next_job: 1,
+            queue: BinaryHeap::new(),
+            jobs: HashMap::new(),
+            inflight: HashMap::new(),
+            active_jobs: HashMap::new(),
+        }),
+        work_cv: Condvar::new(),
+        row_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        computed: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        cfg,
+    });
+    if shared.cfg.resume {
+        resume_journal(&shared);
+    }
+    let mut threads = Vec::with_capacity(shared.cfg.workers + 1);
+    for i in 0..shared.cfg.workers {
+        let s = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("silo-serve-worker-{i}"))
+                .spawn(move || worker_loop(&s))?,
+        );
+    }
+    let s = Arc::clone(&shared);
+    threads.push(
+        std::thread::Builder::new()
+            .name("silo-serve-accept".to_string())
+            .spawn(move || accept_loop(&s, &listener))?,
+    );
+    Ok(ServerHandle { shared, threads })
+}
+
+fn initiate_shutdown<E: JobEngine>(shared: &Shared<E>) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    shared.row_cv.notify_all();
+    // The accept loop blocks in `accept()`; poke it awake.
+    let _ = TcpStream::connect(shared.bound);
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+
+enum SubmitError {
+    Invalid(String),
+    QuotaExceeded { limit: usize },
+    QueueFull { capacity: usize },
+    ShuttingDown,
+    Io(String),
+}
+
+impl SubmitError {
+    fn status(&self) -> u16 {
+        match self {
+            SubmitError::Invalid(_) => 400,
+            SubmitError::QuotaExceeded { .. } => 429,
+            SubmitError::QueueFull { .. } | SubmitError::ShuttingDown => 503,
+            SubmitError::Io(_) => 500,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            SubmitError::Invalid(m) => m.clone(),
+            SubmitError::QuotaExceeded { limit } => {
+                format!("client quota exceeded ({limit} active jobs)")
+            }
+            SubmitError::QueueFull { capacity } => {
+                format!("point queue full ({capacity} points); retry later")
+            }
+            SubmitError::ShuttingDown => "shutting down".to_string(),
+            SubmitError::Io(m) => m.clone(),
+        }
+    }
+}
+
+struct SubmitOutcome {
+    id: u64,
+    points: usize,
+    cached: usize,
+    sweep_hash: String,
+}
+
+/// Plans and enqueues one submission. Cache-satisfied points never
+/// enter the queue; points already inflight are subscribed to.
+fn submit<E: JobEngine>(
+    shared: &Shared<E>,
+    client: &str,
+    priority: i64,
+    body: &str,
+    journal: bool,
+) -> Result<SubmitOutcome, SubmitError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(SubmitError::ShuttingDown);
+    }
+    // Plan (scenario parse + validation through the engine) and hash
+    // every point outside the lock; both are pure.
+    let JobPlan {
+        job,
+        points,
+        sweep_hash,
+    } = shared.engine.plan(body).map_err(SubmitError::Invalid)?;
+    if points == 0 {
+        return Err(SubmitError::Invalid("job has no sweep points".to_string()));
+    }
+    let keys: Vec<String> = (0..points)
+        .map(|i| shared.engine.point_key(&job, i))
+        .collect();
+    let job = Arc::new(job);
+
+    let mut st = shared.lock_state();
+    if st.active_jobs.get(client).copied().unwrap_or(0) >= shared.cfg.client_quota {
+        return Err(SubmitError::QuotaExceeded {
+            limit: shared.cfg.client_quota,
+        });
+    }
+    let mut rows: Vec<Option<String>> = vec![None; points];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match shared.cache.get(key) {
+            Some(row) => rows[i] = Some(row),
+            None => misses.push(i),
+        }
+    }
+    let fresh = misses
+        .iter()
+        .filter(|&&i| !st.inflight.contains_key(&keys[i]))
+        .count();
+    if st.queue.len() + fresh > shared.cfg.queue_capacity {
+        return Err(SubmitError::QueueFull {
+            capacity: shared.cfg.queue_capacity,
+        });
+    }
+
+    let id = st.next_job;
+    st.next_job += 1;
+    let cached = points - misses.len();
+    shared
+        .cache_hits
+        .fetch_add(cached as u64, Ordering::Relaxed);
+
+    if misses.is_empty() {
+        // Fully served from the cache: complete on arrival, nothing to
+        // journal, no quota consumed.
+        st.jobs.insert(
+            id,
+            JobState {
+                client: client.to_string(),
+                job,
+                sweep_hash: sweep_hash.clone(),
+                rows,
+                done: points,
+                cached,
+                phase: JobPhase::Complete,
+            },
+        );
+        drop(st);
+        shared.row_cv.notify_all();
+        return Ok(SubmitOutcome {
+            id,
+            points,
+            cached,
+            sweep_hash,
+        });
+    }
+
+    if journal {
+        // Write-ahead: the body hits disk before any point runs, so a
+        // crash after this line cannot lose the accepted job.
+        let entry = format!("client {client}\npriority {priority}\n\n{body}");
+        std::fs::write(shared.journal_path(id), entry)
+            .map_err(|e| SubmitError::Io(format!("journal write failed: {e}")))?;
+    }
+    *st.active_jobs.entry(client.to_string()).or_insert(0) += 1;
+    for &i in &misses {
+        let key = keys[i].clone();
+        match st.inflight.get_mut(&key) {
+            Some(subs) => {
+                // Another job is already computing this point; ride it.
+                subs.push((id, i));
+                shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                st.inflight.insert(key.clone(), vec![(id, i)]);
+                st.queue.push(QueuedPoint {
+                    priority,
+                    job: id,
+                    idx: i,
+                    key,
+                });
+            }
+        }
+    }
+    st.jobs.insert(
+        id,
+        JobState {
+            client: client.to_string(),
+            job,
+            sweep_hash: sweep_hash.clone(),
+            rows,
+            done: cached,
+            cached,
+            phase: JobPhase::Active,
+        },
+    );
+    drop(st);
+    shared.work_cv.notify_all();
+    Ok(SubmitOutcome {
+        id,
+        points,
+        cached,
+        sweep_hash,
+    })
+}
+
+/// Replays `<cache>/queue/*.job` entries left by a previous run.
+/// Completed points come straight from the cache, so only genuinely
+/// missing work re-runs.
+fn resume_journal<E: JobEngine>(shared: &Shared<E>) {
+    let dir = shared.cfg.cache_dir.join(QUEUE_DIR);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut files: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "job"))
+        .collect();
+    files.sort();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let _ = std::fs::remove_file(&path);
+        let Some((header, body)) = text.split_once("\n\n") else {
+            eprintln!("silo-serve: skipping malformed journal {}", path.display());
+            continue;
+        };
+        let mut client = "anon";
+        let mut priority = 0i64;
+        for line in header.lines() {
+            if let Some(c) = line.strip_prefix("client ") {
+                client = c;
+            } else if let Some(p) = line.strip_prefix("priority ") {
+                priority = p.parse().unwrap_or(0);
+            }
+        }
+        match submit(shared, client, priority, body, true) {
+            Ok(out) => eprintln!(
+                "silo-serve: resumed job {} ({} points, {} from cache)",
+                out.id, out.points, out.cached
+            ),
+            Err(e) => eprintln!(
+                "silo-serve: dropping journalled job from {}: {}",
+                path.display(),
+                e.message()
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
+    loop {
+        let task = {
+            let mut st = shared.lock_state();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(p) = st.queue.pop() {
+                    break p;
+                }
+                st = shared
+                    .work_cv
+                    .wait_timeout(st, WAIT_TICK)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        // Close the probe-then-enqueue race: the row may have landed
+        // (another worker, or a prior run sharing the cache directory)
+        // since this point was queued.
+        if let Some(row) = shared.cache.get(&task.key) {
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            deliver(shared, &task.key, &Ok(row));
+            continue;
+        }
+        let job = {
+            let st = shared.lock_state();
+            st.jobs.get(&task.job).map(|j| Arc::clone(&j.job))
+        };
+        let Some(job) = job else {
+            deliver(shared, &task.key, &Err("job vanished".to_string()));
+            continue;
+        };
+        // A panicking engine must not wedge subscribers or poison the
+        // daemon; convert it into a failed point.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.engine.run_point(&job, task.idx)
+        }))
+        .unwrap_or_else(|_| Err("panic while running sweep point".to_string()));
+        if let Ok(row) = &result {
+            shared.computed.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = shared.cache.put(&task.key, row) {
+                eprintln!("silo-serve: cache write failed for {}: {e}", task.key);
+            }
+        }
+        deliver(shared, &task.key, &result);
+    }
+}
+
+/// Hands a finished point to every subscribed job and finalizes jobs
+/// that just completed (or failed): quota released, journal removed.
+fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<String, String>) {
+    let mut st = shared.lock_state();
+    let subs = st.inflight.remove(key).unwrap_or_default();
+    let mut finished: Vec<(String, u64)> = Vec::new();
+    for (job_id, idx) in subs {
+        let Some(job) = st.jobs.get_mut(&job_id) else {
+            continue;
+        };
+        match result {
+            Ok(row) => {
+                if job.rows[idx].is_none() {
+                    job.rows[idx] = Some(row.clone());
+                    job.done += 1;
+                }
+                if job.done == job.rows.len() && matches!(job.phase, JobPhase::Active) {
+                    job.phase = JobPhase::Complete;
+                    finished.push((job.client.clone(), job_id));
+                }
+            }
+            Err(e) => {
+                if matches!(job.phase, JobPhase::Active) {
+                    job.phase = JobPhase::Failed(e.clone());
+                    finished.push((job.client.clone(), job_id));
+                }
+            }
+        }
+    }
+    for (client, id) in finished {
+        if let Some(n) = st.active_jobs.get_mut(&client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.active_jobs.remove(&client);
+            }
+        }
+        let _ = std::fs::remove_file(shared.journal_path(id));
+    }
+    drop(st);
+    shared.row_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+
+fn accept_loop<E: JobEngine>(shared: &Arc<Shared<E>>, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else {
+            continue;
+        };
+        let s = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("silo-serve-conn".to_string())
+            .spawn(move || handle_connection(&s, stream));
+    }
+}
+
+fn handle_connection<E: JobEngine>(shared: &Shared<E>, stream: TcpStream) {
+    // A stalled peer must not pin a connection thread during parsing;
+    // blocking endpoints only ever *write* after this point.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = stream;
+    match http::read_request(&mut reader) {
+        Ok(req) => {
+            let _ = route(shared, &req, &mut writer);
+        }
+        Err(e) => {
+            let _ = error_response(&mut writer, e.status, &e.message);
+        }
+    }
+}
+
+fn error_response(w: &mut impl Write, status: u16, message: &str) -> io::Result<()> {
+    let body = format!("{{\"error\":\"{}\"}}\n", http::json_escape(message));
+    http::write_response(w, status, "application/json", &body)
+}
+
+fn route<E: JobEngine>(
+    shared: &Shared<E>,
+    req: &http::Request,
+    w: &mut TcpStream,
+) -> io::Result<()> {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["version"]) => {
+            let body = format!("{{\"version\":\"{}\"}}\n", silo_types::VERSION);
+            http::write_response(w, 200, "application/json", &body)
+        }
+        ("GET", ["status"]) => handle_status(shared, w),
+        ("POST", ["jobs"]) => handle_submit(shared, req, w),
+        ("GET", ["jobs", id]) => match id.parse::<u64>() {
+            Ok(id) => handle_job_status(shared, id, w),
+            Err(_) => error_response(w, 404, "no such job"),
+        },
+        ("GET", ["jobs", id, "result"]) => match id.parse::<u64>() {
+            Ok(id) => handle_result(shared, id, w),
+            Err(_) => error_response(w, 404, "no such job"),
+        },
+        ("GET", ["jobs", id, "stream"]) => match id.parse::<u64>() {
+            Ok(id) => handle_stream(shared, id, w),
+            Err(_) => error_response(w, 404, "no such job"),
+        },
+        ("POST", ["shutdown"]) => {
+            // Answer first so the client sees the acknowledgement even
+            // though shutdown tears the accept loop down.
+            let r = http::write_response(w, 200, "application/json", "{\"shutting_down\":true}\n");
+            initiate_shutdown(shared);
+            r
+        }
+        (_, p) => {
+            let known = matches!(
+                p,
+                ["status"]
+                    | ["version"]
+                    | ["shutdown"]
+                    | ["jobs"]
+                    | ["jobs", _]
+                    | ["jobs", _, "result" | "stream"]
+            );
+            if known {
+                error_response(w, 405, "method not allowed")
+            } else {
+                error_response(w, 404, "not found")
+            }
+        }
+    }
+}
+
+fn handle_status<E: JobEngine>(shared: &Shared<E>, w: &mut impl Write) -> io::Result<()> {
+    let (total, active, queued) = {
+        let st = shared.lock_state();
+        (
+            st.next_job - 1,
+            st.jobs
+                .values()
+                .filter(|j| matches!(j.phase, JobPhase::Active))
+                .count(),
+            st.queue.len(),
+        )
+    };
+    let body = format!(
+        "{{\"version\":\"{}\",\"jobs\":{{\"total\":{total},\"active\":{active}}},\
+         \"points\":{{\"queued\":{queued},\"computed\":{},\"cached\":{}}},\
+         \"cache\":{{\"rows\":{}}},\"workers\":{}}}\n",
+        silo_types::VERSION,
+        shared.computed.load(Ordering::Relaxed),
+        shared.cache_hits.load(Ordering::Relaxed),
+        shared.cache.len(),
+        shared.cfg.workers,
+    );
+    http::write_response(w, 200, "application/json", &body)
+}
+
+fn handle_submit<E: JobEngine>(
+    shared: &Shared<E>,
+    req: &http::Request,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let client = req.header("x-client").unwrap_or("anon");
+    if client.is_empty()
+        || client.len() > 64
+        || client.chars().any(|c| c.is_control() || c.is_whitespace())
+    {
+        return error_response(w, 400, "bad x-client header");
+    }
+    let priority = match req.query_param("priority").map(str::parse::<i64>) {
+        None => 0,
+        Some(Ok(p)) => p,
+        Some(Err(_)) => return error_response(w, 400, "bad priority"),
+    };
+    match submit(shared, client, priority, &req.body, true) {
+        Ok(out) => {
+            let body = format!(
+                "{{\"job\":{},\"points\":{},\"cached\":{},\"sweep\":\"{}\"}}\n",
+                out.id, out.points, out.cached, out.sweep_hash
+            );
+            http::write_response(w, 202, "application/json", &body)
+        }
+        Err(e) => error_response(w, e.status(), &e.message()),
+    }
+}
+
+fn handle_job_status<E: JobEngine>(
+    shared: &Shared<E>,
+    id: u64,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let st = shared.lock_state();
+    let Some(job) = st.jobs.get(&id) else {
+        drop(st);
+        return error_response(w, 404, "no such job");
+    };
+    let (state, error) = match &job.phase {
+        JobPhase::Active => ("active", String::new()),
+        JobPhase::Complete => ("complete", String::new()),
+        JobPhase::Failed(e) => ("failed", format!(",\"error\":\"{}\"", http::json_escape(e))),
+    };
+    let body = format!(
+        "{{\"job\":{id},\"state\":\"{state}\",\"points\":{},\"done\":{},\
+         \"cached\":{},\"sweep\":\"{}\"{error}}}\n",
+        job.rows.len(),
+        job.done,
+        job.cached,
+        job.sweep_hash,
+    );
+    drop(st);
+    http::write_response(w, 200, "application/json", &body)
+}
+
+/// Blocks until the job completes, then answers with the full document
+/// the engine renders from its rows (bit-identical to a direct run).
+fn handle_result<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut impl Write) -> io::Result<()> {
+    let mut st = shared.lock_state();
+    loop {
+        let Some(job) = st.jobs.get(&id) else {
+            drop(st);
+            return error_response(w, 404, "no such job");
+        };
+        match &job.phase {
+            JobPhase::Failed(e) => {
+                let msg = e.clone();
+                drop(st);
+                return error_response(w, 500, &msg);
+            }
+            JobPhase::Complete => {
+                let job_arc = Arc::clone(&job.job);
+                let rows: Vec<String> = job
+                    .rows
+                    .iter()
+                    .map(|r| r.clone().expect("complete job has every row"))
+                    .collect();
+                drop(st);
+                let doc = shared.engine.document(&job_arc, &rows);
+                return http::write_response(w, 200, "application/json", &doc);
+            }
+            JobPhase::Active => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(st);
+                    return error_response(w, 503, "shutting down");
+                }
+                st = shared
+                    .row_cv
+                    .wait_timeout(st, WAIT_TICK)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        }
+    }
+}
+
+/// Streams rows live as newline-delimited JSON chunks, in point order,
+/// as they complete.
+fn handle_stream<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut TcpStream) -> io::Result<()> {
+    {
+        let st = shared.lock_state();
+        if !st.jobs.contains_key(&id) {
+            drop(st);
+            return error_response(w, 404, "no such job");
+        }
+    }
+    http::start_chunked(w, 200, "application/x-ndjson")?;
+    enum Step {
+        Row(String),
+        Done,
+        Fail(String),
+    }
+    let mut cursor = 0usize;
+    loop {
+        let step = {
+            let mut st = shared.lock_state();
+            loop {
+                let Some(job) = st.jobs.get(&id) else {
+                    break Step::Fail("job vanished".to_string());
+                };
+                if cursor >= job.rows.len() {
+                    break Step::Done;
+                }
+                if let Some(row) = &job.rows[cursor] {
+                    break Step::Row(row.clone());
+                }
+                if let JobPhase::Failed(e) = &job.phase {
+                    break Step::Fail(e.clone());
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break Step::Fail("shutting down".to_string());
+                }
+                st = shared
+                    .row_cv
+                    .wait_timeout(st, WAIT_TICK)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        match step {
+            Step::Row(row) => {
+                http::write_chunk(w, &format!("{row}\n"))?;
+                cursor += 1;
+            }
+            Step::Done => break,
+            Step::Fail(e) => {
+                http::write_chunk(w, &format!("{{\"error\":\"{}\"}}\n", http::json_escape(&e)))?;
+                break;
+            }
+        }
+    }
+    http::finish_chunked(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(priority: i64, job: u64, idx: usize) -> QueuedPoint {
+        QueuedPoint {
+            priority,
+            job,
+            idx,
+            key: format!("{job:032x}{idx:032x}"),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_job_then_index() {
+        let mut heap = BinaryHeap::new();
+        heap.push(point(0, 2, 1));
+        heap.push(point(5, 3, 0));
+        heap.push(point(0, 1, 1));
+        heap.push(point(0, 1, 0));
+        heap.push(point(5, 3, 2));
+        let order: Vec<(i64, u64, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|p| (p.priority, p.job, p.idx))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(5, 3, 0), (5, 3, 2), (0, 1, 0), (0, 1, 1), (0, 2, 1)]
+        );
+    }
+}

@@ -70,6 +70,7 @@
 
 pub mod bench;
 pub mod builder;
+pub mod canon;
 pub mod config;
 pub mod error;
 pub mod json;
@@ -77,6 +78,7 @@ pub mod registry;
 pub mod report;
 pub mod run;
 pub mod scenario;
+pub mod serve;
 pub mod timeline;
 pub mod timing;
 pub mod workload;
@@ -98,6 +100,7 @@ pub use run::{
     run_source, AnyEngine, Protocol, RunStats, ServedCounts,
 };
 pub use scenario::Scenario;
+pub use serve::{SimJob, SimJobEngine};
 pub use silo_telemetry::{MeterConfig, Telemetry};
 pub use silo_trace::{
     SliceTrace, TraceError, TraceHeader, TraceReader, TraceSource, TraceSummary, TraceWriter,

@@ -30,6 +30,39 @@ USAGE:
                                  silo-hotloop/v1 trajectory file),
                                  --compare PATH (print refs/sec deltas vs
                                  the file's last snapshot)
+    silo-sim serve [OPTIONS]     simulation-as-a-service daemon: accept
+                                 scenario submissions over HTTP, fan
+                                 sweep points across a worker pool, and
+                                 store every completed row in an
+                                 on-disk content-addressed cache so
+                                 overlapping or resubmitted sweeps only
+                                 compute never-seen points. Endpoints:
+                                 POST /jobs (scenario body; 202 + job
+                                 id), GET /jobs/ID, GET /jobs/ID/result
+                                 (blocks; full silo-bench/v1 JSON),
+                                 GET /jobs/ID/stream (rows live as
+                                 chunked NDJSON), GET /status,
+                                 GET /version, POST /shutdown (graceful:
+                                 running points finish, queued jobs stay
+                                 journalled for --resume).
+                                 Options: --addr HOST:PORT (default
+                                 127.0.0.1:7878), --workers N (default
+                                 2), --queue N (point backpressure
+                                 limit; overflow answers 503), --quota N
+                                 (active jobs per client; overflow
+                                 answers 429), --cache DIR (default
+                                 .silo-serve), --cache-cap N (rows kept;
+                                 oldest evicted beyond it), --resume
+                                 (replay jobs journalled by a previous
+                                 run; cached points are not recomputed)
+    silo-sim hash SCENARIO       print the canonical content hash of the
+                                 resolved sweep: stable across scenario
+                                 key reordering and whitespace, changed
+                                 by any semantic difference. This is the
+                                 hash the serve cache is keyed by.
+                                 --points also lists every sweep point's
+                                 cache key
+    silo-sim --version           print the workspace version
     silo-sim check [OPTIONS]     exhaustive model checking: explore every
                                  reachable protocol state of a bounded
                                  world by BFS and assert the coherence
@@ -191,6 +224,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
                 run_check(args)?;
                 return Ok(None);
             }
+            if arg == "serve" {
+                run_serve(args)?;
+                return Ok(None);
+            }
+            if arg == "hash" {
+                run_hash(args)?;
+                return Ok(None);
+            }
         }
         match arg.as_str() {
             "--scenario" => {
@@ -251,6 +292,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
+                return Ok(None);
+            }
+            "--version" | "-V" => {
+                println!("silo-sim {}", silo_types::VERSION);
                 return Ok(None);
             }
             other => {
@@ -421,6 +466,109 @@ fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
             "appended snapshot '{label}' to {} ({n} total)",
             path.display()
         );
+    }
+    Ok(())
+}
+
+/// `silo-sim serve`: starts the simulation-as-a-service daemon and
+/// blocks until it drains (POST /shutdown). All simulation semantics —
+/// scenario parsing, validation, row rendering — are exactly the CLI's;
+/// the daemon adds the job queue, worker pool, content-addressed row
+/// cache, and write-ahead journal from `silo-serve`.
+fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> {
+    let mut cfg = silo_serve::ServeConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse_value("--addr", args.next())?,
+            "--workers" => cfg.workers = parse_value("--workers", args.next())?,
+            "--queue" => cfg.queue_capacity = parse_value("--queue", args.next())?,
+            "--quota" => cfg.client_quota = parse_value("--quota", args.next())?,
+            "--cache" => {
+                cfg.cache_dir = PathBuf::from(parse_value::<String>("--cache", args.next())?);
+            }
+            "--cache-cap" => cfg.cache_cap = parse_value("--cache-cap", args.next())?,
+            "--resume" => cfg.resume = true,
+            other => return Err(bad("serve argument", other, "unknown option")),
+        }
+    }
+    if cfg.workers == 0 {
+        return Err(bad("--workers", "0", "needs at least one worker"));
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(bad("--queue", "0", "needs room for at least one point"));
+    }
+    if cfg.client_quota == 0 {
+        return Err(bad("--quota", "0", "needs at least one job per client"));
+    }
+    let banner = cfg.clone();
+    let handle = silo_serve::start(silo_sim::SimJobEngine, cfg)
+        .map_err(|e| bad("serve", banner.addr.clone(), format!("cannot start: {e}")))?;
+    println!(
+        "silo-serve {} listening on http://{}",
+        silo_types::VERSION,
+        handle.addr()
+    );
+    println!(
+        "cache {} (cap {} rows), {} workers, queue {} points, quota {} jobs/client{}",
+        banner.cache_dir.display(),
+        banner.cache_cap,
+        banner.workers,
+        banner.queue_capacity,
+        banner.client_quota,
+        if banner.resume {
+            ", resuming journal"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "endpoints: POST /jobs, GET /jobs/ID[/result|/stream], GET /status, \
+         GET /version, POST /shutdown"
+    );
+    handle.join();
+    println!("silo-serve: drained and stopped");
+    Ok(())
+}
+
+/// `silo-sim hash SCENARIO`: prints the canonical content hash of the
+/// sweep the scenario resolves to — the identity the serve cache keys
+/// on. `--points` also lists every point's cache key.
+fn run_hash(args: impl Iterator<Item = String>) -> Result<(), ConfigError> {
+    let mut path: Option<PathBuf> = None;
+    let mut show_points = false;
+    for arg in args {
+        match arg.as_str() {
+            "--points" => show_points = true,
+            other if other.starts_with('-') => {
+                return Err(bad("hash argument", other, "unknown option"))
+            }
+            other => {
+                if path.is_some() {
+                    return Err(bad("hash argument", other, "exactly one scenario file"));
+                }
+                path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let path = path.ok_or_else(|| bad("hash", "", "usage: silo-sim hash SCENARIO [--points]"))?;
+    let sim = Simulation::builder()
+        .scenario(&Scenario::load(&path)?)
+        .build()?;
+    let spec = sim.spec();
+    let keys = silo_sim::canon::point_keys(spec)
+        .map_err(|e| bad("hash", path.display().to_string(), e))?;
+    println!("{}", silo_sim::canon::sweep_hash_of_keys(&keys));
+    if show_points {
+        for (key, p) in keys.iter().zip(spec.points()) {
+            println!(
+                "{key}  {} cores={} scale={} mlp={} vault={}",
+                p.workload.name,
+                p.cores,
+                p.scale,
+                p.mlp,
+                p.vault.name()
+            );
+        }
     }
     Ok(())
 }

@@ -22,9 +22,16 @@
 #![forbid(unsafe_code)]
 
 pub mod hash;
+pub mod sha;
 pub mod stats;
 
 use std::fmt;
+
+/// The workspace version, shared by every crate (they all inherit
+/// `workspace.package.version`). Surfaced as `silo-sim --version`, the
+/// daemon's `Server:` header, and the `/status` endpoint — the single
+/// source of truth instead of scattered literals.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Size of a cache line in bytes (64B throughout the paper, Table II).
 pub const LINE_SIZE: usize = 64;

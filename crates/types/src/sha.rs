@@ -1,0 +1,301 @@
+//! A dependency-free SHA-256 for content addressing.
+//!
+//! The serve subsystem keys its on-disk result cache by a canonical
+//! hash of everything that determines a sweep point's row — scenario
+//! parameters, system set, seed, and (for replays) the trace file's
+//! bytes. Those keys become file names shared between processes and
+//! across daemon restarts, so the hash must be cryptographic-strength
+//! collision-resistant and stable across platforms and compilers —
+//! properties the in-repo [`crate::hash::FxHasher`] (a 64-bit hot-path
+//! table hasher) deliberately does not provide. This is the standard
+//! FIPS 180-4 construction in safe Rust, verified against the NIST
+//! test vectors below.
+//!
+//! ```
+//! use silo_types::sha::sha256_hex;
+//!
+//! assert_eq!(
+//!     sha256_hex(b"abc"),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+//! );
+//! ```
+
+/// The eight initial hash values: fractional parts of the square roots
+/// of the first eight primes.
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+/// The 64 round constants: fractional parts of the cube roots of the
+/// first 64 primes.
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// A streaming SHA-256 hasher: feed bytes with [`Sha256::update`], then
+/// take the digest with [`Sha256::finish`] or [`Sha256::finish_hex`].
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total message length in bytes (the padding encodes it in bits).
+    length: u64,
+    /// Partial block awaiting 64 bytes.
+    block: [u8; 64],
+    filled: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            length: 0,
+            block: [0; 64],
+            filled: 0,
+        }
+    }
+
+    /// Absorbs `bytes`; calls may split the message anywhere.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.length = self.length.wrapping_add(bytes.len() as u64);
+        if self.filled > 0 {
+            let need = 64 - self.filled;
+            let take = need.min(bytes.len());
+            self.block[self.filled..self.filled + take].copy_from_slice(&bytes[..take]);
+            self.filled += take;
+            bytes = &bytes[take..];
+            if self.filled < 64 {
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+            self.filled = 0;
+        }
+        while bytes.len() >= 64 {
+            let (block, rest) = bytes.split_at(64);
+            self.compress(block.try_into().expect("64-byte chunk"));
+            bytes = rest;
+        }
+        self.block[..bytes.len()].copy_from_slice(bytes);
+        self.filled = bytes.len();
+    }
+
+    /// Pads, finalizes, and returns the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_length = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.filled != 56 {
+            self.update(&[0]);
+        }
+        // Bypass update() for the length word: self.length no longer
+        // matters and the block is exactly full after these 8 bytes.
+        self.block[56..].copy_from_slice(&bit_length.to_be_bytes());
+        let block = self.block;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// The digest as 64 lowercase hex characters — the cache-key form.
+    pub fn finish_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.finish() {
+            s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+            s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+        }
+        s
+    }
+
+    /// One compression round over a 64-byte block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot digest of `bytes` as 64 lowercase hex characters.
+pub fn sha256_hex(bytes: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_test_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (56 bytes forces padding into a second block).
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        assert_eq!(
+            sha256_hex(b"The quick brown fox jumps over the lazy dog"),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let msg: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let whole = sha256_hex(&msg);
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finish_hex(), whole, "split at {split}");
+        }
+        // Byte-at-a-time.
+        let mut h = Sha256::new();
+        for b in &msg {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finish_hex(), whole);
+    }
+
+    #[test]
+    fn million_a_vector() {
+        // The classic long-message NIST vector.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finish_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hex_is_lowercase_and_64_chars() {
+        let hex = sha256_hex(b"silo");
+        assert_eq!(hex.len(), 64);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}
