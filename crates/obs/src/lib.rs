@@ -1,0 +1,48 @@
+//! Observability engines for the SILO toolchain.
+//!
+//! Two independent engines plus a hot-loop helper, all dependency-free
+//! (only `silo-types`):
+//!
+//! * [`metrics`] — an ordered metrics registry of counters, gauges, and
+//!   log-bucketed histograms, rendered in the Prometheus text
+//!   exposition format (`GET /metrics` on the serve daemon).
+//! * [`trace`] — a ring-buffered span recorder on a monotonic clock
+//!   with parent links, exported as Chrome trace-event JSON that loads
+//!   directly in Perfetto or `chrome://tracing`.
+//! * [`profile`] — a per-phase wall-clock accumulator for the
+//!   simulator's hot loop (`silo-sim --profile`), with the same
+//!   trace-event export.
+//!
+//! None of these engines touch simulated state: instrumented paths must
+//! produce byte-identical `silo-bench/v1` documents, so everything here
+//! observes wall-clock behaviour only.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histo, Registry};
+pub use profile::PhaseProfile;
+pub use trace::{Span, SpanRecorder};
+
+/// Escapes a string for embedding in a JSON string literal (shared by
+/// the trace-event and profile exporters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,529 @@
+//! An ordered metrics registry rendered in the Prometheus text
+//! exposition format.
+//!
+//! The registry hands out cheap clonable handles ([`Counter`],
+//! [`Gauge`], [`Histo`]) backed by atomics (counters, gauges) or a
+//! mutex-guarded log2 histogram. Registration is idempotent: asking for
+//! the same `(name, labels)` pair returns a handle to the same series,
+//! which is how per-endpoint/per-status label values are minted on the
+//! request path. Families render in first-registration order and series
+//! in first-appearance order, so `/metrics` output is deterministic for
+//! a deterministic request sequence.
+//!
+//! Histograms reuse [`silo_types::stats::Histogram::log2`]: bucket `b`
+//! holds integer values in `[2^(b-1), 2^b)`, so the cumulative
+//! Prometheus bucket bound `le = 2^b - 1` is *exact* — no sample is
+//! ever misattributed across a bucket boundary.
+
+use silo_types::stats::Histogram as LogHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can go up and down.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram handle for integer samples (counts,
+/// microseconds, bytes).
+#[derive(Clone, Debug)]
+pub struct Histo(Arc<Mutex<LogHistogram>>);
+
+impl Histo {
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram mutex is poisoned.
+    pub fn observe(&self, v: u64) {
+        self.0.lock().expect("histogram lock").record(v);
+    }
+
+    /// Number of recorded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram mutex is poisoned.
+    pub fn count(&self) -> u64 {
+        self.0.lock().expect("histogram lock").count()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    const fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Value {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<Mutex<LogHistogram>>),
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    value: Value,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// The registry: an ordered collection of metric families.
+///
+/// Cloning shares the underlying storage, so one registry can be
+/// threaded through every daemon layer.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or on a kind clash with an
+    /// existing family of the same name.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Declares a counter family without creating any series, pinning
+    /// its position in the exposition order before the first labelled
+    /// series is minted (e.g. a per-endpoint request counter that only
+    /// materializes on the first request). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or on a kind clash.
+    pub fn declare_counter(&self, name: &str, help: &str) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut fams = self.families.lock().expect("registry lock");
+        match fams.iter().find(|f| f.name == name) {
+            Some(f) => assert!(
+                f.kind == Kind::Counter,
+                "metric {name} re-registered as counter (was {})",
+                f.kind.as_str()
+            ),
+            None => fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind: Kind::Counter,
+                series: Vec::new(),
+            }),
+        }
+    }
+
+    /// Registers (or retrieves) a counter series with the given label
+    /// pairs. The same `(name, labels)` always returns a handle to the
+    /// same series.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name or on a kind clash.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let v = self.series(name, help, Kind::Counter, labels, || {
+            Value::Counter(Arc::new(AtomicU64::new(0)))
+        });
+        match v {
+            Value::Counter(a) => Counter(a),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or on a kind clash.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge series with the given label
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric/label name or on a kind clash.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let v = self.series(name, help, Kind::Gauge, labels, || {
+            Value::Gauge(Arc::new(AtomicI64::new(0)))
+        });
+        match v {
+            Value::Gauge(a) => Gauge(a),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled log2 histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or on a kind clash.
+    pub fn histogram(&self, name: &str, help: &str) -> Histo {
+        let v = self.series(name, help, Kind::Histogram, &[], || {
+            Value::Histogram(Arc::new(Mutex::new(LogHistogram::log2())))
+        });
+        match v {
+            Value::Histogram(h) => Histo(h),
+            _ => unreachable!("kind checked by series()"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Value,
+    ) -> Value {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let mut fams = self.families.lock().expect("registry lock");
+        let fam = match fams.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name} re-registered as {} (was {})",
+                    kind.as_str(),
+                    f.kind.as_str()
+                );
+                f
+            }
+            None => {
+                fams.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                fams.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(s) = fam.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return s.value.clone();
+        }
+        let value = make();
+        fam.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            value: value.clone(),
+        });
+        value
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers followed by one
+    /// sample line per series, histograms expanded into cumulative
+    /// `_bucket{le=...}` lines plus `_sum` / `_count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry or histogram mutex is poisoned.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for fam in fams.iter() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+            for s in &fam.series {
+                match &s.value {
+                    Value::Counter(a) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            fam.name,
+                            label_block(&s.labels, None),
+                            a.load(Ordering::Relaxed)
+                        );
+                    }
+                    Value::Gauge(a) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            fam.name,
+                            label_block(&s.labels, None),
+                            a.load(Ordering::Relaxed)
+                        );
+                    }
+                    Value::Histogram(h) => {
+                        let h = h.lock().expect("histogram lock");
+                        let counts = h.bucket_counts();
+                        let last = counts
+                            .iter()
+                            .rposition(|&c| c > 0)
+                            .map_or(0, |i| i.min(counts.len() - 2));
+                        let mut cum = 0u64;
+                        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+                            cum += c;
+                            let le = h.bucket_upper_bound(i).to_string();
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                fam.name,
+                                label_block(&s.labels, Some(&le)),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            fam.name,
+                            label_block(&s.labels, Some("+Inf")),
+                            h.count()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            fam.name,
+                            label_block(&s.labels, None),
+                            h.sum()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            fam.name,
+                            label_block(&s.labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the Prometheus metric/label name rule.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}`, optionally appending a histogram `le` label;
+/// empty when there are no labels at all.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render_in_registration_order() {
+        let r = Registry::new();
+        let c = r.counter("silo_events_total", "Total events.");
+        let g = r.gauge("silo_depth", "Current depth.");
+        c.add(3);
+        g.set(-2);
+        let text = r.render();
+        let c_pos = text.find("silo_events_total 3").expect("counter line");
+        let g_pos = text.find("silo_depth -2").expect("gauge line");
+        assert!(c_pos < g_pos, "families must render in registration order");
+        assert!(text.contains("# TYPE silo_events_total counter"));
+        assert!(text.contains("# TYPE silo_depth gauge"));
+        assert!(text.contains("# HELP silo_depth Current depth."));
+    }
+
+    #[test]
+    fn labelled_series_are_idempotent_and_ordered() {
+        let r = Registry::new();
+        let a = r.counter_with("silo_req_total", "Requests.", &[("ep", "/jobs")]);
+        let b = r.counter_with("silo_req_total", "Requests.", &[("ep", "/status")]);
+        let a2 = r.counter_with("silo_req_total", "Requests.", &[("ep", "/jobs")]);
+        a.inc();
+        a2.inc();
+        b.inc();
+        let text = r.render();
+        assert!(text.contains("silo_req_total{ep=\"/jobs\"} 2"), "{text}");
+        assert!(text.contains("silo_req_total{ep=\"/status\"} 1"));
+        // One HELP/TYPE header for the whole family.
+        assert_eq!(text.matches("# TYPE silo_req_total").count(), 1);
+        let jobs = text.find("ep=\"/jobs\"").expect("jobs series");
+        let status = text.find("ep=\"/status\"").expect("status series");
+        assert!(
+            jobs < status,
+            "series must render in first-appearance order"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_exact() {
+        let r = Registry::new();
+        let h = r.histogram("silo_lat_us", "Latency.");
+        for v in [0, 1, 2, 3, 900] {
+            h.observe(v);
+        }
+        let text = r.render();
+        // Bucket 0 holds value 0 (le="0"); bucket 1 holds value 1
+        // (le="1"); bucket 2 holds values 2..=3 (le="3").
+        assert!(text.contains("silo_lat_us_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("silo_lat_us_bucket{le=\"1\"} 2"));
+        assert!(text.contains("silo_lat_us_bucket{le=\"3\"} 4"));
+        assert!(text.contains("silo_lat_us_bucket{le=\"1023\"} 5"));
+        assert!(text.contains("silo_lat_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("silo_lat_us_sum 906"));
+        assert!(text.contains("silo_lat_us_count 5"));
+    }
+
+    #[test]
+    fn declared_family_pins_exposition_order() {
+        let r = Registry::new();
+        r.declare_counter("silo_first_total", "Declared early.");
+        let g = r.gauge("silo_second", "Registered after.");
+        g.set(1);
+        let text = r.render();
+        // The declared family renders (headers only, no series) ahead
+        // of later registrations, even before any series exists.
+        let first = text
+            .find("# TYPE silo_first_total counter")
+            .expect("family");
+        let second = text.find("# TYPE silo_second gauge").expect("gauge");
+        assert!(first < second);
+        // Declaring again or minting a series keeps the position.
+        r.declare_counter("silo_first_total", "Declared early.");
+        r.counter_with("silo_first_total", "Declared early.", &[("k", "v")])
+            .inc();
+        let text = r.render();
+        assert!(text.contains("silo_first_total{k=\"v\"} 1"));
+        assert_eq!(text.matches("# TYPE silo_first_total").count(), 1);
+    }
+
+    #[test]
+    fn handles_are_shared_across_registry_clones() {
+        let r = Registry::new();
+        let c = r.counter("silo_shared_total", "Shared.");
+        let r2 = r.clone();
+        r2.counter("silo_shared_total", "Shared.").add(5);
+        assert_eq!(c.get(), 5);
+        assert!(r.render().contains("silo_shared_total 5"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("silo_esc_total", "Esc.", &[("p", "a\"b\\c\nd")])
+            .inc();
+        assert!(r
+            .render()
+            .contains("silo_esc_total{p=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn rejects_invalid_names() {
+        Registry::new().counter("9bad", "nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn rejects_kind_clash() {
+        let r = Registry::new();
+        r.counter("silo_thing", "a");
+        r.gauge("silo_thing", "b");
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-phase wall-clock accumulation for the simulator's hot loop.
+//!
+//! A [`PhaseProfile`] is a fixed set of named phases, each accumulating
+//! total nanoseconds and a sample count. The hot loop adds to it with a
+//! bounds-checked index per phase — cheap enough to run per reference
+//! when profiling is on, and compiled out entirely when off (the run
+//! loop monomorphizes on a `const PROFILED: bool`, the same trick the
+//! `--check` oracle uses).
+//!
+//! Profiles from multiple runs [`merge`](PhaseProfile::merge), and a
+//! profile exports as Chrome trace-event JSON (phases laid end-to-end,
+//! so Perfetto shows the relative share of each phase at a glance).
+
+use crate::trace::{chrome_document, Span};
+
+/// Accumulated wall-clock per named phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseProfile {
+    labels: Vec<String>,
+    nanos: Vec<u64>,
+    samples: Vec<u64>,
+}
+
+impl PhaseProfile {
+    /// Creates a profile with the given phase labels, all zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn new(labels: &[&str]) -> Self {
+        assert!(!labels.is_empty(), "profile needs at least one phase");
+        PhaseProfile {
+            labels: labels.iter().map(|l| (*l).to_string()).collect(),
+            nanos: vec![0; labels.len()],
+            samples: vec![0; labels.len()],
+        }
+    }
+
+    /// Adds one timed sample to phase `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn add(&mut self, idx: usize, nanos: u64) {
+        self.nanos[idx] += nanos;
+        self.samples[idx] += 1;
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the profile has no phases (never: construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Phase labels, in construction order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Accumulated nanoseconds per phase, parallel to `labels()`.
+    pub fn nanos(&self) -> &[u64] {
+        &self.nanos
+    }
+
+    /// Sample counts per phase, parallel to `labels()`.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Sum of all phase nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Fraction of total time spent in phase `idx` (0.0 when nothing
+    /// was recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn share(&self, idx: usize) -> f64 {
+        silo_types::stats::ratio(self.nanos[idx], self.total_nanos())
+    }
+
+    /// Accumulates another profile into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase labels differ.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        assert_eq!(self.labels, other.labels, "phase label mismatch");
+        for (n, o) in self.nanos.iter_mut().zip(other.nanos.iter()) {
+            *n += o;
+        }
+        for (s, o) in self.samples.iter_mut().zip(other.samples.iter()) {
+            *s += o;
+        }
+    }
+
+    /// Renders the profile as a Chrome trace-event JSON document: one
+    /// complete event per phase, laid end-to-end on a single track in
+    /// label order (timestamps in microseconds, nanosecond remainders
+    /// rounded to nearest).
+    pub fn chrome_json(&self) -> String {
+        let mut spans = Vec::with_capacity(self.labels.len());
+        let mut cursor = 0u64;
+        for (i, label) in self.labels.iter().enumerate() {
+            let dur_us = (self.nanos[i] + 500) / 1_000;
+            spans.push(Span {
+                id: i as u64 + 1,
+                parent: None,
+                name: label.clone(),
+                cat: "profile".to_string(),
+                tid: 0,
+                start_us: cursor,
+                dur_us,
+            });
+            cursor += dur_us;
+        }
+        chrome_document(&spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_shares() {
+        let mut p = PhaseProfile::new(&["pull", "step"]);
+        p.add(0, 300);
+        p.add(0, 100);
+        p.add(1, 600);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.nanos(), &[400, 600]);
+        assert_eq!(p.samples(), &[2, 1]);
+        assert_eq!(p.total_nanos(), 1000);
+        assert!((p.share(0) - 0.4).abs() < 1e-12);
+        assert!((p.share(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_shares() {
+        let p = PhaseProfile::new(&["only"]);
+        assert_eq!(p.total_nanos(), 0);
+        assert_eq!(p.share(0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_matching_phases() {
+        let mut a = PhaseProfile::new(&["x", "y"]);
+        let mut b = PhaseProfile::new(&["x", "y"]);
+        a.add(0, 10);
+        b.add(0, 5);
+        b.add(1, 7);
+        a.merge(&b);
+        assert_eq!(a.nanos(), &[15, 7]);
+        assert_eq!(a.samples(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase label mismatch")]
+    fn merge_rejects_different_labels() {
+        let mut a = PhaseProfile::new(&["x"]);
+        a.merge(&PhaseProfile::new(&["y"]));
+    }
+
+    #[test]
+    fn chrome_export_lays_phases_end_to_end() {
+        let mut p = PhaseProfile::new(&["pull", "step"]);
+        p.add(0, 2_000_000); // 2000us
+        p.add(1, 1_000_000); // 1000us
+        let json = p.chrome_json();
+        assert!(json.contains("\"name\":\"pull\""));
+        assert!(json.contains("\"ts\":0,\"dur\":2000"));
+        assert!(json.contains("\"name\":\"step\""));
+        assert!(json.contains("\"ts\":2000,\"dur\":1000"));
+    }
+}

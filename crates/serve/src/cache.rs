@@ -31,8 +31,15 @@ use std::sync::Mutex;
 
 /// Subdirectory of the cache root holding row files.
 const ROWS_DIR: &str = "rows";
+/// Subdirectory holding auxiliary event records (NDJSON sidecars,
+/// e.g. epoch telemetry), parallel to `rows/` and keyed identically.
+/// Sidecars are not counted against the entry cap; evicting a row
+/// best-effort removes its sidecar too.
+const EVENTS_DIR: &str = "events";
 /// Row file extension.
 const ROW_EXT: &str = "json";
+/// Event sidecar extension.
+const EVENTS_EXT: &str = "ndjson";
 
 /// A content-addressed row store rooted at one directory.
 pub struct RowCache {
@@ -87,11 +94,11 @@ impl RowCache {
         self.len() == 0
     }
 
-    /// The row file path for `key`, or `None` for malformed keys.
-    /// Keys must be lowercase hex (the engine hashes into this form);
-    /// anything else is rejected so a buggy engine can never address
-    /// outside the cache directory.
-    fn path_for(&self, key: &str) -> Option<PathBuf> {
+    /// The file path for `key` under `dir` with `ext`, or `None` for
+    /// malformed keys. Keys must be lowercase hex (the engine hashes
+    /// into this form); anything else is rejected so a buggy engine
+    /// can never address outside the cache directory.
+    fn path_in(&self, dir: &str, ext: &str, key: &str) -> Option<PathBuf> {
         if key.len() < 8
             || key.len() > 128
             || !key
@@ -102,10 +109,20 @@ impl RowCache {
         }
         Some(
             self.root
-                .join(ROWS_DIR)
+                .join(dir)
                 .join(&key[..2])
-                .join(format!("{key}.{ROW_EXT}")),
+                .join(format!("{key}.{ext}")),
         )
+    }
+
+    /// The row file path for `key`, or `None` for malformed keys.
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        self.path_in(ROWS_DIR, ROW_EXT, key)
+    }
+
+    /// The event sidecar path for `key`, or `None` for malformed keys.
+    fn events_path_for(&self, key: &str) -> Option<PathBuf> {
+        self.path_in(EVENTS_DIR, EVENTS_EXT, key)
     }
 
     /// Fetches the row stored under `key`, if present.
@@ -147,6 +164,44 @@ impl RowCache {
         Ok(())
     }
 
+    /// Fetches the auxiliary event records stored alongside `key`, if
+    /// any. Absence is normal: rows written before events existed, or
+    /// points that produced none.
+    pub fn get_events(&self, key: &str) -> Option<Vec<String>> {
+        if self.max_entries == 0 {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.events_path_for(key)?).ok()?;
+        Some(text.lines().map(str::to_string).collect())
+    }
+
+    /// Stores `events` as the NDJSON sidecar of `key` (atomic, like
+    /// [`RowCache::put`]). An empty slice is a no-op — absence and
+    /// emptiness are indistinguishable by design.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` for malformed keys and propagates
+    /// filesystem errors.
+    pub fn put_events(&self, key: &str, events: &[String]) -> io::Result<()> {
+        if self.max_entries == 0 || events.is_empty() {
+            return Ok(());
+        }
+        let path = self
+            .events_path_for(key)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "malformed cache key"))?;
+        let dir = path.parent().expect("events path has a shard directory");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!("{key}.tmp"));
+        let mut text = String::new();
+        for e in events {
+            text.push_str(e);
+            text.push('\n');
+        }
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &path)
+    }
+
     /// Removes oldest-modified rows until the count is back under the
     /// cap. Failures are ignored — eviction is best-effort; a row that
     /// survives costs nothing but disk.
@@ -179,8 +234,13 @@ impl RowCache {
         rows.sort();
         let excess = rows.len() - self.max_entries;
         for (_, path) in rows.into_iter().take(excess) {
-            if std::fs::remove_file(path).is_ok() {
+            if std::fs::remove_file(&path).is_ok() {
                 self.entries.fetch_sub(1, Ordering::Relaxed);
+                if let Some(key) = path.file_stem().and_then(|s| s.to_str()) {
+                    if let Some(events) = self.events_path_for(key) {
+                        let _ = std::fs::remove_file(events);
+                    }
+                }
             }
         }
     }
@@ -259,6 +319,34 @@ mod tests {
         assert!(cache.len() <= 3, "cap enforced, len {}", cache.len());
         // The newest row always survives.
         assert_eq!(cache.get(&key(4)).as_deref(), Some("row4"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn event_sidecars_roundtrip_and_track_row_eviction() {
+        let dir = temp_dir("events");
+        let cache = RowCache::open(&dir, 2).expect("open");
+        assert_eq!(cache.get_events(&key(1)), None);
+        cache.put(&key(1), "row1").expect("put");
+        cache
+            .put_events(&key(1), &["{\"type\":\"epoch\",\"n\":0}".to_string()])
+            .expect("put events");
+        assert_eq!(
+            cache.get_events(&key(1)),
+            Some(vec!["{\"type\":\"epoch\",\"n\":0}".to_string()])
+        );
+        // Empty event lists are a no-op, indistinguishable from absence.
+        cache.put_events(&key(2), &[]).expect("empty put");
+        assert_eq!(cache.get_events(&key(2)), None);
+        // Sidecars don't count against the row cap.
+        assert_eq!(cache.len(), 1);
+        // Evicting the row takes the sidecar with it.
+        for n in 10..13u64 {
+            cache.put(&key(n), "filler").expect("put");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(cache.get(&key(1)), None, "row evicted");
+        assert_eq!(cache.get_events(&key(1)), None, "sidecar evicted");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

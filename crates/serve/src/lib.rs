@@ -23,8 +23,13 @@
 //! | `POST /jobs`             | Submit a scenario body; `202` with job id    |
 //! | `GET /jobs/{id}`         | Job progress snapshot                        |
 //! | `GET /jobs/{id}/result`  | Block until done; full result document       |
-//! | `GET /jobs/{id}/stream`  | Rows streamed live as chunked NDJSON         |
+//! | `GET /jobs/{id}/stream`  | Rows streamed live as chunked NDJSON; with   |
+//! |                          | `?telemetry=epoch` (or `x-silo-stream:       |
+//! |                          | epoch`), typed records interleaving epoch    |
+//! |                          | telemetry with rows                          |
 //! | `GET /status`            | Daemon counters (queue, compute, cache)      |
+//! | `GET /metrics`           | Prometheus text exposition of daemon metrics |
+//! | `GET /trace`             | Request/job spans as Chrome trace-event JSON |
 //! | `GET /version`           | Workspace version                            |
 //! | `POST /shutdown`         | Graceful shutdown (drain, journal persists)  |
 //!
@@ -41,6 +46,8 @@ pub mod server;
 pub use cache::RowCache;
 pub use server::{start, ServeConfig, ServerHandle};
 
+pub use silo_obs as obs;
+
 /// A planned job: the engine's job value plus how many sweep points it
 /// decomposes into and the canonical hash of the whole sweep.
 pub struct JobPlan<J> {
@@ -53,15 +60,41 @@ pub struct JobPlan<J> {
     pub sweep_hash: String,
 }
 
+/// A completed sweep point: the rendered row plus any auxiliary typed
+/// event records produced alongside it.
+///
+/// Events are newline-free NDJSON objects (e.g. `{"type":"epoch",...}`
+/// epoch-telemetry records) that the daemon stores next to the row in
+/// the cache and interleaves ahead of the row on the opt-in stream.
+/// They are *not* part of the result document, so the `silo-bench/v1`
+/// bytes stay identical whether or not any events exist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PointOutput {
+    /// The rendered result row.
+    pub row: String,
+    /// Auxiliary typed records, in emission order.
+    pub events: Vec<String>,
+}
+
+impl PointOutput {
+    /// A point with a row and no auxiliary events.
+    pub fn row_only(row: String) -> Self {
+        PointOutput {
+            row,
+            events: Vec::new(),
+        }
+    }
+}
+
 /// The pluggable simulator behind the daemon.
 ///
 /// Implementations must be deterministic for caching to be sound: for
 /// a fixed submission body, `point_key(i)` must identify the complete
 /// configuration of point `i`, and `run_point(i)` must be a pure
-/// function of that configuration — equal keys ⇒ byte-equal rows.
-/// `document` must likewise depend only on the job and its rows, so a
-/// result reconstructed from cached rows is bit-identical to one
-/// computed fresh.
+/// function of that configuration — equal keys ⇒ byte-equal rows (and
+/// byte-equal event records). `document` must likewise depend only on
+/// the job and its rows, so a result reconstructed from cached rows is
+/// bit-identical to one computed fresh.
 pub trait JobEngine: Send + Sync + 'static {
     /// Per-job state shared by all of the job's points.
     type Job: Send + Sync + 'static;
@@ -77,12 +110,13 @@ pub trait JobEngine: Send + Sync + 'static {
     /// chars), covering every input that affects the row's bytes.
     fn point_key(&self, job: &Self::Job, index: usize) -> String;
 
-    /// Runs point `index` to completion, returning the rendered row.
+    /// Runs point `index` to completion, returning the rendered row
+    /// plus any auxiliary event records.
     ///
     /// # Errors
     ///
     /// A human-readable failure; the daemon fails every subscribed job.
-    fn run_point(&self, job: &Self::Job, index: usize) -> Result<String, String>;
+    fn run_point(&self, job: &Self::Job, index: usize) -> Result<PointOutput, String>;
 
     /// Renders the final result document from the job's completed rows
     /// (one per point, in point order).

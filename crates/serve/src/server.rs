@@ -25,9 +25,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use silo_obs::metrics::{Counter, Gauge, Histo, Registry};
+use silo_obs::SpanRecorder;
+
 use crate::cache::RowCache;
 use crate::http;
-use crate::{JobEngine, JobPlan};
+use crate::{JobEngine, JobPlan, PointOutput};
 
 /// Subdirectory of the cache root holding the write-ahead job journal.
 const QUEUE_DIR: &str = "queue";
@@ -55,6 +58,13 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Replay journalled jobs from a previous run at startup.
     pub resume: bool,
+    /// Write the span ring as Chrome trace-event JSON to this file when
+    /// the daemon shuts down (`GET /trace` serves the same document
+    /// live).
+    pub trace_out: Option<PathBuf>,
+    /// Maximum request/job spans kept in the trace ring (oldest
+    /// evicted).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,7 +77,82 @@ impl Default for ServeConfig {
             cache_dir: PathBuf::from(".silo-serve"),
             cache_cap: 100_000,
             resume: false,
+            trace_out: None,
+            trace_capacity: 4096,
         }
+    }
+}
+
+/// The daemon's metric handles, all registered on one [`Registry`]
+/// rendered by `GET /metrics`. Counters and the run-latency histogram
+/// are bumped at event sites; the queue/jobs gauges are synced from
+/// authoritative daemon state at scrape time, and the busy-workers
+/// gauge tracks `run_point` entry/exit.
+struct Metrics {
+    registry: Registry,
+    /// `silo_serve_queue_depth` — sweep points currently queued.
+    queue_depth: Gauge,
+    /// `silo_serve_workers_busy` — workers inside `run_point` right now.
+    workers_busy: Gauge,
+    /// `silo_serve_jobs_active` — jobs not yet complete or failed.
+    jobs_active: Gauge,
+    /// `silo_serve_cache_hits_total` — points served without compute.
+    cache_hits: Counter,
+    /// `silo_serve_cache_misses_total` — points actually computed.
+    cache_misses: Counter,
+    /// `silo_serve_point_run_microseconds` — per-point run wall time.
+    run_us: Histo,
+    /// `silo_serve_stream_bytes_total` — NDJSON bytes streamed.
+    stream_bytes: Counter,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let registry = Registry::new();
+        registry.declare_counter(
+            "silo_serve_requests_total",
+            "HTTP requests handled, by endpoint and response status.",
+        );
+        Metrics {
+            queue_depth: registry.gauge(
+                "silo_serve_queue_depth",
+                "Sweep points currently queued across all jobs.",
+            ),
+            workers_busy: registry.gauge(
+                "silo_serve_workers_busy",
+                "Worker threads currently running a sweep point.",
+            ),
+            jobs_active: registry.gauge(
+                "silo_serve_jobs_active",
+                "Jobs accepted but not yet complete or failed.",
+            ),
+            cache_hits: registry.counter(
+                "silo_serve_cache_hits_total",
+                "Sweep points served from the row cache or shared inflight work.",
+            ),
+            cache_misses: registry.counter(
+                "silo_serve_cache_misses_total",
+                "Sweep points computed because no cached row existed.",
+            ),
+            run_us: registry.histogram(
+                "silo_serve_point_run_microseconds",
+                "Wall-clock microseconds per computed sweep point.",
+            ),
+            stream_bytes: registry.counter(
+                "silo_serve_stream_bytes_total",
+                "Bytes streamed over /jobs/{id}/stream chunks.",
+            ),
+            registry,
+        }
+    }
+
+    /// The per-endpoint/per-status request counter series.
+    fn requests(&self, endpoint: &str, status: u16) -> Counter {
+        self.registry.counter_with(
+            "silo_serve_requests_total",
+            "HTTP requests handled, by endpoint and response status.",
+            &[("endpoint", endpoint), ("status", &status.to_string())],
+        )
     }
 }
 
@@ -81,6 +166,10 @@ struct QueuedPoint {
     job: u64,
     idx: usize,
     key: String,
+    /// Enqueue timestamp on the span recorder's clock, for the
+    /// queue-wait span. Not part of the ordering (keys are unique in
+    /// the queue, so the tiebreak never reaches it).
+    enqueued_us: u64,
 }
 
 impl Ord for QueuedPoint {
@@ -113,6 +202,9 @@ struct JobState<J> {
     sweep_hash: String,
     /// Completed row text per point, filled as points finish.
     rows: Vec<Option<String>>,
+    /// Auxiliary event records per point (empty when the point produced
+    /// none, or when a cache hit predates event sidecars).
+    events: Vec<Vec<String>>,
     done: usize,
     /// Points satisfied from the cache at submission.
     cached: usize,
@@ -149,6 +241,10 @@ struct Shared<E: JobEngine> {
     computed: AtomicU64,
     /// Points satisfied from the cache or by inflight sharing.
     cache_hits: AtomicU64,
+    /// Metric handles behind `GET /metrics`.
+    metrics: Metrics,
+    /// Request/job lifecycle spans behind `GET /trace` / `--trace-out`.
+    spans: SpanRecorder,
 }
 
 impl<E: JobEngine> Shared<E> {
@@ -189,10 +285,27 @@ impl<E: JobEngine> ServerHandle<E> {
         initiate_shutdown(&self.shared);
     }
 
-    /// Blocks until the accept loop and all workers have exited.
+    /// The current `GET /metrics` exposition text.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.registry.render()
+    }
+
+    /// The current `GET /trace` Chrome trace-event document.
+    pub fn trace_json(&self) -> String {
+        self.shared.spans.chrome_json()
+    }
+
+    /// Blocks until the accept loop and all workers have exited, then
+    /// writes the trace file if `trace_out` is configured.
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
+        }
+        if let Some(path) = &self.shared.cfg.trace_out {
+            match std::fs::write(path, self.shared.spans.chrome_json()) {
+                Ok(()) => eprintln!("silo-serve: wrote trace to {}", path.display()),
+                Err(e) => eprintln!("silo-serve: trace write to {} failed: {e}", path.display()),
+            }
         }
     }
 }
@@ -224,6 +337,8 @@ pub fn start<E: JobEngine>(engine: E, cfg: ServeConfig) -> io::Result<ServerHand
         shutdown: AtomicBool::new(false),
         computed: AtomicU64::new(0),
         cache_hits: AtomicU64::new(0),
+        metrics: Metrics::new(),
+        spans: SpanRecorder::new(cfg.trace_capacity.max(1)),
         cfg,
     });
     if shared.cfg.resume {
@@ -332,10 +447,14 @@ fn submit<E: JobEngine>(
         });
     }
     let mut rows: Vec<Option<String>> = vec![None; points];
+    let mut events: Vec<Vec<String>> = vec![Vec::new(); points];
     let mut misses: Vec<usize> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
         match shared.cache.get(key) {
-            Some(row) => rows[i] = Some(row),
+            Some(row) => {
+                rows[i] = Some(row);
+                events[i] = shared.cache.get_events(key).unwrap_or_default();
+            }
             None => misses.push(i),
         }
     }
@@ -355,6 +474,7 @@ fn submit<E: JobEngine>(
     shared
         .cache_hits
         .fetch_add(cached as u64, Ordering::Relaxed);
+    shared.metrics.cache_hits.add(cached as u64);
 
     if misses.is_empty() {
         // Fully served from the cache: complete on arrival, nothing to
@@ -366,6 +486,7 @@ fn submit<E: JobEngine>(
                 job,
                 sweep_hash: sweep_hash.clone(),
                 rows,
+                events,
                 done: points,
                 cached,
                 phase: JobPhase::Complete,
@@ -389,6 +510,7 @@ fn submit<E: JobEngine>(
             .map_err(|e| SubmitError::Io(format!("journal write failed: {e}")))?;
     }
     *st.active_jobs.entry(client.to_string()).or_insert(0) += 1;
+    let enqueued_us = shared.spans.now_us();
     for &i in &misses {
         let key = keys[i].clone();
         match st.inflight.get_mut(&key) {
@@ -396,6 +518,7 @@ fn submit<E: JobEngine>(
                 // Another job is already computing this point; ride it.
                 subs.push((id, i));
                 shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.cache_hits.inc();
             }
             None => {
                 st.inflight.insert(key.clone(), vec![(id, i)]);
@@ -404,10 +527,15 @@ fn submit<E: JobEngine>(
                     job: id,
                     idx: i,
                     key,
+                    enqueued_us,
                 });
             }
         }
     }
+    shared
+        .metrics
+        .queue_depth
+        .set(i64::try_from(st.queue.len()).unwrap_or(i64::MAX));
     st.jobs.insert(
         id,
         JobState {
@@ -415,6 +543,7 @@ fn submit<E: JobEngine>(
             job,
             sweep_hash: sweep_hash.clone(),
             rows,
+            events,
             done: cached,
             cached,
             phase: JobPhase::Active,
@@ -488,6 +617,10 @@ fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
                     return;
                 }
                 if let Some(p) = st.queue.pop() {
+                    shared
+                        .metrics
+                        .queue_depth
+                        .set(i64::try_from(st.queue.len()).unwrap_or(i64::MAX));
                     break p;
                 }
                 st = shared
@@ -497,12 +630,34 @@ fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
                     .0;
             }
         };
+        // The point span brackets the whole enqueue→deliver lifecycle;
+        // its id is reserved up front so the phase spans can link to it
+        // even though it records last.
+        let spans = &shared.spans;
+        let point_span = spans.reserve();
+        spans.record(
+            "queue-wait",
+            "job",
+            Some(point_span),
+            task.enqueued_us,
+            spans.now_us(),
+        );
         // Close the probe-then-enqueue race: the row may have landed
         // (another worker, or a prior run sharing the cache directory)
         // since this point was queued.
         if let Some(row) = shared.cache.get(&task.key) {
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-            deliver(shared, &task.key, &Ok(row));
+            shared.metrics.cache_hits.inc();
+            let events = shared.cache.get_events(&task.key).unwrap_or_default();
+            spans.record_with_id(
+                point_span,
+                "point",
+                "job",
+                None,
+                task.enqueued_us,
+                spans.now_us(),
+            );
+            deliver(shared, &task.key, &Ok(PointOutput { row, events }));
             continue;
         }
         let job = {
@@ -515,23 +670,52 @@ fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
         };
         // A panicking engine must not wedge subscribers or poison the
         // daemon; convert it into a failed point.
+        shared.metrics.workers_busy.inc();
+        let t_run = spans.now_us();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             shared.engine.run_point(&job, task.idx)
         }))
         .unwrap_or_else(|_| Err("panic while running sweep point".to_string()));
-        if let Ok(row) = &result {
+        let t_run_end = spans.now_us();
+        shared.metrics.workers_busy.dec();
+        spans.record("run", "job", Some(point_span), t_run, t_run_end);
+        shared
+            .metrics
+            .run_us
+            .observe(t_run_end.saturating_sub(t_run));
+        if let Ok(out) = &result {
             shared.computed.fetch_add(1, Ordering::Relaxed);
-            if let Err(e) = shared.cache.put(&task.key, row) {
+            shared.metrics.cache_misses.inc();
+            let t_write = spans.now_us();
+            if let Err(e) = shared.cache.put(&task.key, &out.row) {
                 eprintln!("silo-serve: cache write failed for {}: {e}", task.key);
             }
+            if let Err(e) = shared.cache.put_events(&task.key, &out.events) {
+                eprintln!("silo-serve: event write failed for {}: {e}", task.key);
+            }
+            spans.record(
+                "cache-write",
+                "job",
+                Some(point_span),
+                t_write,
+                spans.now_us(),
+            );
         }
+        spans.record_with_id(
+            point_span,
+            "point",
+            "job",
+            None,
+            task.enqueued_us,
+            spans.now_us(),
+        );
         deliver(shared, &task.key, &result);
     }
 }
 
 /// Hands a finished point to every subscribed job and finalizes jobs
 /// that just completed (or failed): quota released, journal removed.
-fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<String, String>) {
+fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<PointOutput, String>) {
     let mut st = shared.lock_state();
     let subs = st.inflight.remove(key).unwrap_or_default();
     let mut finished: Vec<(String, u64)> = Vec::new();
@@ -540,9 +724,10 @@ fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<String, 
             continue;
         };
         match result {
-            Ok(row) => {
+            Ok(out) => {
                 if job.rows[idx].is_none() {
-                    job.rows[idx] = Some(row.clone());
+                    job.rows[idx] = Some(out.row.clone());
+                    job.events[idx] = out.events.clone();
                     job.done += 1;
                 }
                 if job.done == job.rows.len() && matches!(job.phase, JobPhase::Active) {
@@ -589,6 +774,14 @@ fn accept_loop<E: JobEngine>(shared: &Arc<Shared<E>>, listener: &TcpListener) {
     }
 }
 
+/// Per-request observability context: the span recorder plus the
+/// request's reserved parent span id, threaded through every handler
+/// so respond spans link back to their request.
+struct ReqCtx<'a> {
+    spans: &'a SpanRecorder,
+    req_span: u64,
+}
+
 fn handle_connection<E: JobEngine>(shared: &Shared<E>, stream: TcpStream) {
     // A stalled peer must not pin a connection thread during parsing;
     // blocking endpoints only ever *write* after this point.
@@ -598,50 +791,117 @@ fn handle_connection<E: JobEngine>(shared: &Shared<E>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(clone);
     let mut writer = stream;
-    match http::read_request(&mut reader) {
+    let spans = &shared.spans;
+    let req_span = spans.reserve();
+    let ctx = ReqCtx { spans, req_span };
+    let t_start = spans.now_us();
+    let parsed = http::read_request(&mut reader);
+    spans.record("parse", "http", Some(req_span), t_start, spans.now_us());
+    let (endpoint, status) = match parsed {
         Ok(req) => {
-            let _ = route(shared, &req, &mut writer);
+            let endpoint = endpoint_label(&req.path);
+            let t_route = spans.now_us();
+            // 0 = the response never made it onto the wire (peer gone).
+            let status = route(shared, &ctx, &req, &mut writer).unwrap_or(0);
+            spans.record("route", "http", Some(req_span), t_route, spans.now_us());
+            (endpoint, status)
         }
         Err(e) => {
-            let _ = error_response(&mut writer, e.status, &e.message);
+            let status = error_response(&ctx, &mut writer, e.status, &e.message).unwrap_or(0);
+            ("parse-error", status)
         }
+    };
+    spans.record_with_id(req_span, "request", "http", None, t_start, spans.now_us());
+    shared.metrics.requests(endpoint, status).inc();
+}
+
+/// Normalizes a request path to its route template, bounding the
+/// request-counter label cardinality no matter what clients send.
+fn endpoint_label(path: &str) -> &'static str {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segs.as_slice() {
+        ["version"] => "/version",
+        ["status"] => "/status",
+        ["metrics"] => "/metrics",
+        ["trace"] => "/trace",
+        ["shutdown"] => "/shutdown",
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/{id}",
+        ["jobs", _, "result"] => "/jobs/{id}/result",
+        ["jobs", _, "stream"] => "/jobs/{id}/stream",
+        _ => "other",
     }
 }
 
-fn error_response(w: &mut impl Write, status: u16, message: &str) -> io::Result<()> {
+/// Writes a response and records its respond span; returns the status
+/// so the caller can count the request.
+fn respond(
+    ctx: &ReqCtx<'_>,
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<u16> {
+    let t0 = ctx.spans.now_us();
+    http::write_response(w, status, content_type, body)?;
+    ctx.spans.record(
+        "respond",
+        "http",
+        Some(ctx.req_span),
+        t0,
+        ctx.spans.now_us(),
+    );
+    Ok(status)
+}
+
+fn error_response(
+    ctx: &ReqCtx<'_>,
+    w: &mut impl Write,
+    status: u16,
+    message: &str,
+) -> io::Result<u16> {
     let body = format!("{{\"error\":\"{}\"}}\n", http::json_escape(message));
-    http::write_response(w, status, "application/json", &body)
+    respond(ctx, w, status, "application/json", &body)
 }
 
 fn route<E: JobEngine>(
     shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
     req: &http::Request,
     w: &mut TcpStream,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segs.as_slice()) {
         ("GET", ["version"]) => {
             let body = format!("{{\"version\":\"{}\"}}\n", silo_types::VERSION);
-            http::write_response(w, 200, "application/json", &body)
+            respond(ctx, w, 200, "application/json", &body)
         }
-        ("GET", ["status"]) => handle_status(shared, w),
-        ("POST", ["jobs"]) => handle_submit(shared, req, w),
+        ("GET", ["status"]) => handle_status(shared, ctx, w),
+        ("GET", ["metrics"]) => handle_metrics(shared, ctx, w),
+        ("GET", ["trace"]) => respond(ctx, w, 200, "application/json", &shared.spans.chrome_json()),
+        ("POST", ["jobs"]) => handle_submit(shared, ctx, req, w),
         ("GET", ["jobs", id]) => match id.parse::<u64>() {
-            Ok(id) => handle_job_status(shared, id, w),
-            Err(_) => error_response(w, 404, "no such job"),
+            Ok(id) => handle_job_status(shared, ctx, id, w),
+            Err(_) => error_response(ctx, w, 404, "no such job"),
         },
         ("GET", ["jobs", id, "result"]) => match id.parse::<u64>() {
-            Ok(id) => handle_result(shared, id, w),
-            Err(_) => error_response(w, 404, "no such job"),
+            Ok(id) => handle_result(shared, ctx, id, w),
+            Err(_) => error_response(ctx, w, 404, "no such job"),
         },
         ("GET", ["jobs", id, "stream"]) => match id.parse::<u64>() {
-            Ok(id) => handle_stream(shared, id, w),
-            Err(_) => error_response(w, 404, "no such job"),
+            Ok(id) => handle_stream(shared, ctx, req, id, w),
+            Err(_) => error_response(ctx, w, 404, "no such job"),
         },
         ("POST", ["shutdown"]) => {
             // Answer first so the client sees the acknowledgement even
             // though shutdown tears the accept loop down.
-            let r = http::write_response(w, 200, "application/json", "{\"shutting_down\":true}\n");
+            let r = respond(
+                ctx,
+                w,
+                200,
+                "application/json",
+                "{\"shutting_down\":true}\n",
+            );
             initiate_shutdown(shared);
             r
         }
@@ -650,34 +910,59 @@ fn route<E: JobEngine>(
                 p,
                 ["status"]
                     | ["version"]
+                    | ["metrics"]
+                    | ["trace"]
                     | ["shutdown"]
                     | ["jobs"]
                     | ["jobs", _]
                     | ["jobs", _, "result" | "stream"]
             );
             if known {
-                error_response(w, 405, "method not allowed")
+                error_response(ctx, w, 405, "method not allowed")
             } else {
-                error_response(w, 404, "not found")
+                error_response(ctx, w, 404, "not found")
             }
         }
     }
 }
 
-fn handle_status<E: JobEngine>(shared: &Shared<E>, w: &mut impl Write) -> io::Result<()> {
-    let (total, active, queued) = {
+fn handle_status<E: JobEngine>(
+    shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
+    w: &mut impl Write,
+) -> io::Result<u16> {
+    let (total, active, stuck, done_jobs, failed, queued) = {
         let st = shared.lock_state();
+        let mut active = 0usize;
+        let mut stuck = 0usize;
+        let mut done_jobs = 0usize;
+        let mut failed = 0usize;
+        for j in st.jobs.values() {
+            match j.phase {
+                JobPhase::Active => {
+                    active += 1;
+                    // No progress beyond submission-time cache hits:
+                    // still waiting for its first computed point.
+                    if j.done == j.cached {
+                        stuck += 1;
+                    }
+                }
+                JobPhase::Complete => done_jobs += 1,
+                JobPhase::Failed(_) => failed += 1,
+            }
+        }
         (
             st.next_job - 1,
-            st.jobs
-                .values()
-                .filter(|j| matches!(j.phase, JobPhase::Active))
-                .count(),
+            active,
+            stuck,
+            done_jobs,
+            failed,
             st.queue.len(),
         )
     };
     let body = format!(
-        "{{\"version\":\"{}\",\"jobs\":{{\"total\":{total},\"active\":{active}}},\
+        "{{\"version\":\"{}\",\"jobs\":{{\"total\":{total},\"active\":{active},\
+         \"queued\":{stuck},\"done\":{done_jobs},\"failed\":{failed}}},\
          \"points\":{{\"queued\":{queued},\"computed\":{},\"cached\":{}}},\
          \"cache\":{{\"rows\":{}}},\"workers\":{}}}\n",
         silo_types::VERSION,
@@ -686,25 +971,60 @@ fn handle_status<E: JobEngine>(shared: &Shared<E>, w: &mut impl Write) -> io::Re
         shared.cache.len(),
         shared.cfg.workers,
     );
-    http::write_response(w, 200, "application/json", &body)
+    respond(ctx, w, 200, "application/json", &body)
+}
+
+/// Renders the Prometheus exposition, first syncing the gauges whose
+/// source of truth is daemon state rather than event counters.
+fn handle_metrics<E: JobEngine>(
+    shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
+    w: &mut impl Write,
+) -> io::Result<u16> {
+    let (queue, jobs_active) = {
+        let st = shared.lock_state();
+        (
+            st.queue.len(),
+            st.jobs
+                .values()
+                .filter(|j| matches!(j.phase, JobPhase::Active))
+                .count(),
+        )
+    };
+    shared
+        .metrics
+        .queue_depth
+        .set(i64::try_from(queue).unwrap_or(i64::MAX));
+    shared
+        .metrics
+        .jobs_active
+        .set(i64::try_from(jobs_active).unwrap_or(i64::MAX));
+    respond(
+        ctx,
+        w,
+        200,
+        "text/plain; version=0.0.4",
+        &shared.metrics.registry.render(),
+    )
 }
 
 fn handle_submit<E: JobEngine>(
     shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
     req: &http::Request,
     w: &mut impl Write,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let client = req.header("x-client").unwrap_or("anon");
     if client.is_empty()
         || client.len() > 64
         || client.chars().any(|c| c.is_control() || c.is_whitespace())
     {
-        return error_response(w, 400, "bad x-client header");
+        return error_response(ctx, w, 400, "bad x-client header");
     }
     let priority = match req.query_param("priority").map(str::parse::<i64>) {
         None => 0,
         Some(Ok(p)) => p,
-        Some(Err(_)) => return error_response(w, 400, "bad priority"),
+        Some(Err(_)) => return error_response(ctx, w, 400, "bad priority"),
     };
     match submit(shared, client, priority, &req.body, true) {
         Ok(out) => {
@@ -712,21 +1032,22 @@ fn handle_submit<E: JobEngine>(
                 "{{\"job\":{},\"points\":{},\"cached\":{},\"sweep\":\"{}\"}}\n",
                 out.id, out.points, out.cached, out.sweep_hash
             );
-            http::write_response(w, 202, "application/json", &body)
+            respond(ctx, w, 202, "application/json", &body)
         }
-        Err(e) => error_response(w, e.status(), &e.message()),
+        Err(e) => error_response(ctx, w, e.status(), &e.message()),
     }
 }
 
 fn handle_job_status<E: JobEngine>(
     shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
     id: u64,
     w: &mut impl Write,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let st = shared.lock_state();
     let Some(job) = st.jobs.get(&id) else {
         drop(st);
-        return error_response(w, 404, "no such job");
+        return error_response(ctx, w, 404, "no such job");
     };
     let (state, error) = match &job.phase {
         JobPhase::Active => ("active", String::new()),
@@ -742,23 +1063,28 @@ fn handle_job_status<E: JobEngine>(
         job.sweep_hash,
     );
     drop(st);
-    http::write_response(w, 200, "application/json", &body)
+    respond(ctx, w, 200, "application/json", &body)
 }
 
 /// Blocks until the job completes, then answers with the full document
 /// the engine renders from its rows (bit-identical to a direct run).
-fn handle_result<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut impl Write) -> io::Result<()> {
+fn handle_result<E: JobEngine>(
+    shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
+    id: u64,
+    w: &mut impl Write,
+) -> io::Result<u16> {
     let mut st = shared.lock_state();
     loop {
         let Some(job) = st.jobs.get(&id) else {
             drop(st);
-            return error_response(w, 404, "no such job");
+            return error_response(ctx, w, 404, "no such job");
         };
         match &job.phase {
             JobPhase::Failed(e) => {
                 let msg = e.clone();
                 drop(st);
-                return error_response(w, 500, &msg);
+                return error_response(ctx, w, 500, &msg);
             }
             JobPhase::Complete => {
                 let job_arc = Arc::clone(&job.job);
@@ -769,12 +1095,12 @@ fn handle_result<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut impl Write) 
                     .collect();
                 drop(st);
                 let doc = shared.engine.document(&job_arc, &rows);
-                return http::write_response(w, 200, "application/json", &doc);
+                return respond(ctx, w, 200, "application/json", &doc);
             }
             JobPhase::Active => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     drop(st);
-                    return error_response(w, 503, "shutting down");
+                    return error_response(ctx, w, 503, "shutting down");
                 }
                 st = shared
                     .row_cv
@@ -788,17 +1114,34 @@ fn handle_result<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut impl Write) 
 
 /// Streams rows live as newline-delimited JSON chunks, in point order,
 /// as they complete.
-fn handle_stream<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut TcpStream) -> io::Result<()> {
+///
+/// Two wire formats share this endpoint. The default is the pre-PR-9
+/// format — one raw row per line, byte-identical to what older clients
+/// parse. Opting in with `?telemetry=epoch` (or an `x-silo-stream:
+/// epoch` header) switches every line to a typed record: each point's
+/// epoch-telemetry events (`{"type":"epoch",...}`, as produced by the
+/// engine) stream ahead of its `{"type":"row","point":N,"data":{...}}`
+/// wrapper, and errors become `{"type":"error",...}`.
+fn handle_stream<E: JobEngine>(
+    shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
+    req: &http::Request,
+    id: u64,
+    w: &mut TcpStream,
+) -> io::Result<u16> {
+    let epoch_mode = req.query_param("telemetry").is_some_and(|v| v == "epoch")
+        || req.header("x-silo-stream").is_some_and(|v| v == "epoch");
     {
         let st = shared.lock_state();
         if !st.jobs.contains_key(&id) {
             drop(st);
-            return error_response(w, 404, "no such job");
+            return error_response(ctx, w, 404, "no such job");
         }
     }
+    let t_respond = ctx.spans.now_us();
     http::start_chunked(w, 200, "application/x-ndjson")?;
     enum Step {
-        Row(String),
+        Row(String, Vec<String>),
         Done,
         Fail(String),
     }
@@ -814,7 +1157,12 @@ fn handle_stream<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut TcpStream) -
                     break Step::Done;
                 }
                 if let Some(row) = &job.rows[cursor] {
-                    break Step::Row(row.clone());
+                    let events = if epoch_mode {
+                        job.events[cursor].clone()
+                    } else {
+                        Vec::new()
+                    };
+                    break Step::Row(row.clone(), events);
                 }
                 if let JobPhase::Failed(e) = &job.phase {
                     break Step::Fail(e.clone());
@@ -830,18 +1178,48 @@ fn handle_stream<E: JobEngine>(shared: &Shared<E>, id: u64, w: &mut TcpStream) -
             }
         };
         match step {
-            Step::Row(row) => {
-                http::write_chunk(w, &format!("{row}\n"))?;
+            Step::Row(row, events) => {
+                let mut chunk = String::new();
+                if epoch_mode {
+                    for e in &events {
+                        chunk.push_str(e);
+                        chunk.push('\n');
+                    }
+                    chunk.push_str(&format!(
+                        "{{\"type\":\"row\",\"point\":{cursor},\"data\":{row}}}\n"
+                    ));
+                } else {
+                    chunk = format!("{row}\n");
+                }
+                shared.metrics.stream_bytes.add(chunk.len() as u64);
+                http::write_chunk(w, &chunk)?;
                 cursor += 1;
             }
             Step::Done => break,
             Step::Fail(e) => {
-                http::write_chunk(w, &format!("{{\"error\":\"{}\"}}\n", http::json_escape(&e)))?;
+                let chunk = if epoch_mode {
+                    format!(
+                        "{{\"type\":\"error\",\"error\":\"{}\"}}\n",
+                        http::json_escape(&e)
+                    )
+                } else {
+                    format!("{{\"error\":\"{}\"}}\n", http::json_escape(&e))
+                };
+                shared.metrics.stream_bytes.add(chunk.len() as u64);
+                http::write_chunk(w, &chunk)?;
                 break;
             }
         }
     }
-    http::finish_chunked(w)
+    http::finish_chunked(w)?;
+    ctx.spans.record(
+        "respond",
+        "http",
+        Some(ctx.req_span),
+        t_respond,
+        ctx.spans.now_us(),
+    );
+    Ok(200)
 }
 
 #[cfg(test)]
@@ -854,6 +1232,7 @@ mod tests {
             job,
             idx,
             key: format!("{job:032x}{idx:032x}"),
+            enqueued_us: 0,
         }
     }
 

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
-use silo_serve::{start, JobEngine, JobPlan, ServeConfig};
+use silo_serve::{start, JobEngine, JobPlan, PointOutput, ServeConfig};
 use silo_types::sha::sha256_hex;
 
 // ---------------------------------------------------------------------------
@@ -126,7 +126,7 @@ impl JobEngine for MockEngine {
         sha256_hex(format!("{}:{index}", job.name).as_bytes())
     }
 
-    fn run_point(&self, job: &MockJob, index: usize) -> Result<String, String> {
+    fn run_point(&self, job: &MockJob, index: usize) -> Result<PointOutput, String> {
         self.gate.acquire();
         if !self.delay.is_zero() {
             std::thread::sleep(self.delay);
@@ -135,7 +135,19 @@ impl JobEngine for MockEngine {
         if job.name == "explode" {
             return Err(format!("point {index} exploded"));
         }
-        Ok(format!("{{\"name\":\"{}\",\"point\":{index}}}", job.name))
+        // Jobs named epoch-* also produce auxiliary typed records, the
+        // way the real engine emits epoch telemetry.
+        let events = if job.name.starts_with("epoch") {
+            (0..2)
+                .map(|e| format!("{{\"type\":\"epoch\",\"index\":{index},\"epoch\":{e}}}"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(PointOutput {
+            row: format!("{{\"name\":\"{}\",\"point\":{index}}}", job.name),
+            events,
+        })
     }
 
     fn document(&self, job: &MockJob, rows: &[String]) -> String {
@@ -605,6 +617,298 @@ fn the_error_surface_has_the_right_statuses() {
 
     server.shutdown();
     server.join();
+}
+
+/// Minimal Prometheus text-exposition validity check: every line is a
+/// comment or `name[{labels}] value` with a numeric value, every
+/// sample's family has HELP and TYPE headers, and histogram buckets
+/// are cumulative ending in `+Inf`.
+fn assert_valid_exposition(text: &str) {
+    let mut seen_types = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("type name");
+            let kind = it.next().expect("type kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "bad kind: {line}"
+            );
+            seen_types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad sample line: {line}"));
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "non-numeric value in: {line}"
+        );
+        let name = series.split('{').next().expect("metric name");
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| seen_types.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(
+            seen_types.contains_key(family),
+            "sample {name} has no TYPE header"
+        );
+    }
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_counters_move_across_a_job() {
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(engine, config("metrics")).expect("start");
+    let addr = server.addr();
+
+    let before = get(addr, "/metrics");
+    assert_eq!(before.status, 200);
+    assert!(before.headers.contains("text/plain"), "{}", before.headers);
+    assert_valid_exposition(&before.body);
+    // Declared families render even before any job ran.
+    assert!(before
+        .body
+        .contains("# TYPE silo_serve_requests_total counter"));
+    assert!(before.body.contains("silo_serve_cache_misses_total 0"));
+    assert!(before.body.contains("silo_serve_queue_depth 0"));
+
+    let id = job_id(&post(addr, "/jobs", "a", "name = metered\npoints = 3\n"));
+    let _ = get(addr, &format!("/jobs/{id}/result"));
+    let _ = get(addr, &format!("/jobs/{id}/stream"));
+
+    let after = get(addr, "/metrics");
+    assert_valid_exposition(&after.body);
+    assert!(
+        after.body.contains("silo_serve_cache_misses_total 3"),
+        "{}",
+        after.body
+    );
+    assert!(
+        after
+            .body
+            .contains("silo_serve_point_run_microseconds_count 3"),
+        "{}",
+        after.body
+    );
+    assert!(
+        after
+            .body
+            .contains("silo_serve_requests_total{endpoint=\"/jobs\",status=\"202\"} 1"),
+        "{}",
+        after.body
+    );
+    assert!(
+        after
+            .body
+            .contains("endpoint=\"/jobs/{id}/result\",status=\"200\""),
+        "{}",
+        after.body
+    );
+    // The stream moved the bytes counter.
+    let bytes_line = after
+        .body
+        .lines()
+        .find(|l| l.starts_with("silo_serve_stream_bytes_total "))
+        .expect("stream bytes sample");
+    let bytes: u64 = bytes_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(bytes > 0, "{bytes_line}");
+
+    // Resubmission: cache hits move, misses don't.
+    let _ = post(addr, "/jobs", "b", "name = metered\npoints = 3\n");
+    let third = get(addr, "/metrics");
+    assert!(
+        third.body.contains("silo_serve_cache_hits_total 3"),
+        "{}",
+        third.body
+    );
+    assert!(third.body.contains("silo_serve_cache_misses_total 3"));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn trace_endpoint_serves_linked_request_and_job_spans() {
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(engine, config("trace")).expect("start");
+    let addr = server.addr();
+    let id = job_id(&post(addr, "/jobs", "a", "name = traced\npoints = 1\n"));
+    let _ = get(addr, &format!("/jobs/{id}/result"));
+
+    let trace = get(addr, "/trace");
+    assert_eq!(trace.status, 200);
+    assert!(
+        trace
+            .body
+            .starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "{}",
+        trace.body
+    );
+    for name in [
+        "parse",
+        "route",
+        "respond",
+        "request",
+        "queue-wait",
+        "run",
+        "cache-write",
+        "point",
+    ] {
+        assert!(
+            trace.body.contains(&format!("\"name\":\"{name}\"")),
+            "missing {name} span: {}",
+            trace.body
+        );
+    }
+    // Every span is a complete event with parent links riding in args.
+    assert!(trace.body.contains("\"ph\":\"X\""));
+    assert!(trace.body.contains("\"parent\":"));
+    // The in-process accessor serves the same document shape.
+    assert!(server.trace_json().contains("\"name\":\"request\""));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn status_reports_job_phase_counts() {
+    let gate = Gate::closed();
+    let (engine, _) = MockEngine::new(Arc::clone(&gate));
+    let server = start(engine, config("phases")).expect("start");
+    let addr = server.addr();
+
+    // One permit while only the failing job exists: its single point is
+    // the only one that can run.
+    let failed = job_id(&post(addr, "/jobs", "b", "name = explode\npoints = 1\n"));
+    *gate.permits.lock().unwrap() = 1;
+    gate.cv.notify_all();
+    while !get(addr, &format!("/jobs/{failed}"))
+        .body
+        .contains("\"state\":\"failed\"")
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Now a job stuck behind the (re-closed) gate: active, no point done.
+    let stuck = job_id(&post(addr, "/jobs", "a", "name = stuck\npoints = 2\n"));
+    let status = get(addr, "/status");
+    assert!(
+        status
+            .body
+            .contains("\"jobs\":{\"total\":2,\"active\":1,\"queued\":1,\"done\":0,\"failed\":1}"),
+        "{}",
+        status.body
+    );
+
+    // Drain the stuck job; it moves to done.
+    gate.release();
+    let _ = get(addr, &format!("/jobs/{stuck}/result"));
+    let status = get(addr, "/status");
+    assert!(
+        status
+            .body
+            .contains("\"jobs\":{\"total\":2,\"active\":0,\"queued\":0,\"done\":1,\"failed\":1}"),
+        "{}",
+        status.body
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn epoch_opt_in_stream_interleaves_typed_records_and_default_stays_raw() {
+    let dir = temp_dir("epochstream");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(engine, cfg.clone()).expect("start");
+    let addr = server.addr();
+    let id = job_id(&post(addr, "/jobs", "a", "name = epochal\npoints = 2\n"));
+
+    // Default stream: raw rows only, the pre-PR-9 wire format.
+    let plain = get(addr, &format!("/jobs/{id}/stream"));
+    assert_eq!(
+        plain.body.lines().collect::<Vec<_>>(),
+        vec![
+            "{\"name\":\"epochal\",\"point\":0}",
+            "{\"name\":\"epochal\",\"point\":1}",
+        ]
+    );
+
+    // Opt-in via query param: every line is typed, epochs ahead of rows.
+    let typed = get(addr, &format!("/jobs/{id}/stream?telemetry=epoch"));
+    let lines: Vec<&str> = typed.body.lines().collect();
+    assert_eq!(
+        lines,
+        vec![
+            "{\"type\":\"epoch\",\"index\":0,\"epoch\":0}",
+            "{\"type\":\"epoch\",\"index\":0,\"epoch\":1}",
+            "{\"type\":\"row\",\"point\":0,\"data\":{\"name\":\"epochal\",\"point\":0}}",
+            "{\"type\":\"epoch\",\"index\":1,\"epoch\":0}",
+            "{\"type\":\"epoch\",\"index\":1,\"epoch\":1}",
+            "{\"type\":\"row\",\"point\":1,\"data\":{\"name\":\"epochal\",\"point\":1}}",
+        ]
+    );
+
+    // Opt-in via header is equivalent.
+    let via_header = request(
+        addr,
+        &format!("GET /jobs/{id}/stream HTTP/1.1\r\nX-Silo-Stream: epoch\r\n\r\n"),
+    );
+    assert_eq!(via_header.body, typed.body);
+    server.shutdown();
+    server.join();
+
+    // Events persist in the cache: a fresh daemon over the same
+    // directory serves the epoch records for a fully cached job.
+    let (engine, runs) = MockEngine::new(Gate::opened());
+    let server = start(engine, cfg).expect("restart");
+    let id = job_id(&post(
+        server.addr(),
+        "/jobs",
+        "b",
+        "name = epochal\npoints = 2\n",
+    ));
+    let cached = get(server.addr(), &format!("/jobs/{id}/stream?telemetry=epoch"));
+    assert_eq!(cached.body, typed.body, "cached jobs keep their epochs");
+    assert_eq!(runs.load(Ordering::SeqCst), 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_on_shutdown() {
+    let dir = temp_dir("traceout");
+    let trace_path = dir.join("daemon-trace.json");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: dir.clone(),
+        trace_out: Some(trace_path.clone()),
+        ..ServeConfig::default()
+    };
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(engine, cfg).expect("start");
+    let id = job_id(&post(
+        server.addr(),
+        "/jobs",
+        "a",
+        "name = out\npoints = 1\n",
+    ));
+    let _ = get(server.addr(), &format!("/jobs/{id}/result"));
+    server.shutdown();
+    server.join();
+    let written = std::fs::read_to_string(&trace_path).expect("trace file");
+    assert!(written.contains("\"traceEvents\":["), "{written}");
+    assert!(written.contains("\"name\":\"run\""), "{written}");
 }
 
 #[test]

@@ -20,10 +20,14 @@
 use crate::config::{SystemConfig, VaultDesign};
 use crate::error::ConfigError;
 use crate::json::Json;
-use crate::registry::{run_system_on_source_checked, run_system_on_source_metered, SystemSpec};
-use crate::run::RunStats;
+use crate::registry::{
+    run_system_on_source_checked, run_system_on_source_metered, run_system_on_source_profiled,
+    SystemSpec,
+};
+use crate::run::{RunStats, PROFILE_PHASES};
 use crate::workload::{SyntheticTrace, WorkloadSpec};
 use silo_coherence::ServedBy;
+use silo_obs::PhaseProfile;
 use silo_telemetry::{MeterConfig, Telemetry};
 use silo_trace::TraceSource;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +40,10 @@ pub const SCHEMA: &str = "silo-bench/v1";
 /// Version tag of the hot-loop throughput trajectory schema
 /// (`BENCH_hotloop.json`, written by [`throughput`]).
 pub const SCHEMA_HOTLOOP: &str = "silo-hotloop/v1";
+
+/// Version tag of the hot-loop self-profiler schema
+/// (`--profile-json`, rendered by [`profile_json`]).
+pub const SCHEMA_PROFILE: &str = "silo-profile/v1";
 
 pub mod throughput;
 
@@ -70,6 +78,14 @@ pub struct SweepSpec {
     /// document, and checked runs must stay byte-identical to unchecked
     /// ones.
     pub check_every: Option<u64>,
+    /// Hot-loop self-profiler (`--profile`): samples per-phase
+    /// wall-clock for every run and attaches a
+    /// [`PhaseProfile`] to each [`SystemRun`]. Like `check_every`,
+    /// deliberately *not* part of [`MeterConfig`] — profiled runs must
+    /// keep the `silo-bench/v1` document byte-identical to unprofiled
+    /// ones. Mutually exclusive with `check_every` (the builder rejects
+    /// the combination).
+    pub profile: bool,
 }
 
 impl SweepSpec {
@@ -133,6 +149,10 @@ pub struct SystemRun {
     /// The run's telemetry: named counters, latency histograms, and the
     /// epoch timeline (empty under a disabled meter).
     pub telemetry: Telemetry,
+    /// Per-phase wall-clock of the hot loop, present only under
+    /// [`SweepSpec::profile`]. Host-dependent, so never rendered into
+    /// the `silo-bench/v1` document.
+    pub profile: Option<PhaseProfile>,
 }
 
 /// The outcome of one sweep point: every selected system's stats plus
@@ -203,33 +223,46 @@ pub fn run_point(spec: &SweepSpec, point: &SweepPoint) -> BenchRecord {
                 .source(cfg.cores, cfg.scale, spec.seed)
                 .expect("workload sources validated at build time");
             let t = Instant::now();
-            let (stats, telemetry) = match spec.check_every {
-                None => run_system_on_source_metered(
+            let (stats, telemetry, profile) = if spec.profile {
+                let (stats, telemetry, profile) = run_system_on_source_profiled(
                     sys,
                     &cfg,
                     &point.workload.name,
                     &mut *source,
                     &spec.meter,
-                ),
-                Some(every) => run_system_on_source_checked(
-                    sys,
-                    &cfg,
-                    &point.workload.name,
-                    &mut *source,
-                    &spec.meter,
-                    every,
-                )
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "--check detected a simulator bug on workload '{}': {e}",
-                        point.workload.name
+                );
+                (stats, telemetry, Some(profile))
+            } else {
+                let (stats, telemetry) = match spec.check_every {
+                    None => run_system_on_source_metered(
+                        sys,
+                        &cfg,
+                        &point.workload.name,
+                        &mut *source,
+                        &spec.meter,
+                    ),
+                    Some(every) => run_system_on_source_checked(
+                        sys,
+                        &cfg,
+                        &point.workload.name,
+                        &mut *source,
+                        &spec.meter,
+                        every,
                     )
-                }),
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "--check detected a simulator bug on workload '{}': {e}",
+                            point.workload.name
+                        )
+                    }),
+                };
+                (stats, telemetry, None)
             };
             SystemRun {
                 stats,
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
                 telemetry,
+                profile,
             }
         })
         .collect();
@@ -534,6 +567,70 @@ pub fn sweep_json(records: &[BenchRecord], seed: u64) -> Json {
     ])
 }
 
+/// Renders the hot-loop phase profiles of a profiled sweep into the
+/// `silo-profile/v1` document: the phase list once at the top, then one
+/// entry per profiled run keyed by the point dimensions, with per-phase
+/// accumulated nanoseconds, sample counts, and time shares. Unprofiled
+/// runs contribute nothing.
+pub fn profile_json(records: &[BenchRecord]) -> Json {
+    let mut runs = Vec::new();
+    for r in records {
+        for run in &r.runs {
+            let Some(p) = &run.profile else { continue };
+            let phases = (0..p.len())
+                .map(|i| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(p.labels()[i].clone())),
+                        ("ns".into(), Json::Int(p.nanos()[i] as i128)),
+                        ("samples".into(), Json::Int(p.samples()[i] as i128)),
+                        ("share".into(), Json::Num(p.share(i))),
+                    ])
+                })
+                .collect();
+            runs.push(Json::Obj(vec![
+                ("workload".into(), Json::Str(r.point.workload.name.clone())),
+                ("system".into(), Json::Str(run.stats.system.clone())),
+                ("cores".into(), Json::Int(r.point.cores as i128)),
+                ("scale".into(), Json::Int(r.point.scale as i128)),
+                ("mlp".into(), Json::Int(r.point.mlp as i128)),
+                ("vault".into(), Json::Str(r.point.vault.name().into())),
+                ("total_ns".into(), Json::Int(p.total_nanos() as i128)),
+                ("phases".into(), Json::Arr(phases)),
+            ]));
+        }
+    }
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA_PROFILE.into())),
+        (
+            "phases".into(),
+            Json::Arr(
+                PROFILE_PHASES
+                    .iter()
+                    .map(|s| Json::Str((*s).to_string()))
+                    .collect(),
+            ),
+        ),
+        ("runs".into(), Json::Arr(runs)),
+    ])
+}
+
+/// Merges every run's phase profile into one aggregate, or `None` when
+/// no run was profiled. Feeds `--profile-trace` (one Chrome trace with
+/// the whole sweep's phase totals laid end-to-end).
+pub fn merged_profile(records: &[BenchRecord]) -> Option<PhaseProfile> {
+    let mut merged: Option<PhaseProfile> = None;
+    for r in records {
+        for run in &r.runs {
+            let Some(p) = &run.profile else { continue };
+            match &mut merged {
+                Some(m) => m.merge(p),
+                None => merged = Some(p.clone()),
+            }
+        }
+    }
+    merged
+}
+
 /// Writes the `silo-bench/v1` document to `path`.
 ///
 /// # Errors
@@ -567,7 +664,61 @@ mod tests {
             seed: 5,
             meter: MeterConfig::default(),
             check_every: None,
+            profile: false,
         }
+    }
+
+    #[test]
+    fn profiled_sweep_matches_unprofiled_and_renders_profile_json() {
+        let spec = tiny_spec();
+        let profiled = SweepSpec {
+            profile: true,
+            ..spec.clone()
+        };
+        let plain = run_sweep_sequential(&spec);
+        let prof = run_sweep_sequential(&profiled);
+        // Simulated results are bit-identical; only the profile rides
+        // along — so the silo-bench/v1 documents match byte-for-byte,
+        // wall_ms aside (compare the host-independent stats directly).
+        for (a, b) in plain.iter().zip(&prof) {
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                assert_eq!(ra.stats, rb.stats);
+                assert_eq!(ra.telemetry.recorder, rb.telemetry.recorder);
+                assert!(ra.profile.is_none());
+                let p = rb.profile.as_ref().expect("profiled run has a profile");
+                assert_eq!(p.labels(), &PROFILE_PHASES);
+                // 2 cores x 500 refs: one engine-step sample per ref.
+                assert_eq!(p.samples()[1], 1_000);
+                // Disabled meter: the telemetry phase never fires.
+                assert_eq!(p.samples()[3], 0);
+            }
+        }
+        let doc = profile_json(&prof);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_PROFILE)
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
+        assert_eq!(runs.len(), 4, "2 points x 2 systems");
+        let shares: f64 = runs[0]
+            .get("phases")
+            .and_then(Json::as_arr)
+            .expect("phases")
+            .iter()
+            .map(|p| p.get("share").and_then(Json::as_f64).expect("share"))
+            .sum();
+        assert!((shares - 1.0).abs() < 1e-9, "shares sum to 1, got {shares}");
+        // Unprofiled records render an empty runs array.
+        let empty = profile_json(&plain);
+        assert_eq!(
+            empty.get("runs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+        // And the merged profile aggregates all four runs.
+        let merged = merged_profile(&prof).expect("profiles present");
+        assert_eq!(merged.samples()[1], 4_000);
+        assert!(merged_profile(&plain).is_none());
+        assert!(merged.chrome_json().contains("\"name\":\"engine_step\""));
     }
 
     #[test]

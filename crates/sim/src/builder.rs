@@ -80,6 +80,7 @@ pub struct SimulationBuilder {
     warmup: Option<u64>,
     epoch: Option<u64>,
     check: Option<u64>,
+    profile: bool,
 }
 
 impl Default for SimulationBuilder {
@@ -100,6 +101,7 @@ impl Default for SimulationBuilder {
             warmup: None,
             epoch: None,
             check: None,
+            profile: false,
         }
     }
 }
@@ -232,6 +234,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the hot-loop self-profiler (`--profile`): every run
+    /// samples per-phase wall-clock (trace pull, engine step, timing,
+    /// telemetry) and attaches a `PhaseProfile` to its
+    /// [`crate::bench::SystemRun`]. Off by default; when off, the
+    /// profiler's clock reads are compiled out of the hot loop and
+    /// results are bit-identical either way. Mutually exclusive with
+    /// [`SimulationBuilder::check_every`].
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Merges a parsed [`Scenario`] into the builder: every field the
     /// scenario sets replaces the builder's current value, so apply the
     /// scenario first and explicit overrides after.
@@ -271,6 +285,9 @@ impl SimulationBuilder {
         }
         if let Some(v) = s.check {
             self.check = Some(v);
+        }
+        if let Some(v) = s.profile {
+            self.profile = v;
         }
         self
     }
@@ -339,6 +356,15 @@ impl SimulationBuilder {
                 reason: "must be at least 1 reference between oracle sweeps".into(),
             });
         }
+        if self.profile && self.check.is_some() {
+            return Err(ConfigError::BadValue {
+                what: "profile".into(),
+                value: "on".into(),
+                reason: "cannot combine with check: the oracle sweeps would dominate \
+                         the phase timings"
+                    .into(),
+            });
+        }
         // Reject runs whose measurement window is provably empty — a
         // warmup window that swallows every reference — instead of
         // reporting undefined IPC and speedups. Trace workloads were
@@ -377,6 +403,7 @@ impl SimulationBuilder {
                     epoch_refs: self.epoch,
                 },
                 check_every: self.check,
+                profile: self.profile,
             },
             threads: self.threads,
         })
@@ -673,6 +700,31 @@ mod tests {
 
         let bad = Simulation::builder().epoch_refs(0).build();
         assert!(matches!(bad, Err(ConfigError::BadValue { .. })));
+    }
+
+    #[test]
+    fn profile_reaches_the_spec_and_rejects_combining_with_check() {
+        let sim = Simulation::builder().profile(true).build().expect("valid");
+        assert!(sim.spec().profile);
+        assert!(!Simulation::builder().build().expect("valid").spec().profile);
+
+        let bad = Simulation::builder()
+            .profile(true)
+            .check_every(1000)
+            .build();
+        assert!(matches!(bad, Err(ConfigError::BadValue { .. })));
+        let msg = bad.expect_err("rejected").to_string();
+        assert!(msg.contains("cannot combine with check"), "{msg}");
+    }
+
+    #[test]
+    fn scenario_profile_key_merges_into_the_builder() {
+        let scenario = Scenario::parse("profile = on\n").expect("valid scenario");
+        let sim = Simulation::builder()
+            .scenario(&scenario)
+            .build()
+            .expect("valid");
+        assert!(sim.spec().profile);
     }
 
     #[test]

@@ -91,13 +91,15 @@ pub use config::{SystemConfig, VaultDesign};
 pub use error::ConfigError;
 pub use json::Json;
 pub use registry::{
-    run_system, run_system_on_source_checked, run_system_on_source_metered, run_system_on_traces,
-    run_system_on_traces_metered, SystemInstance, SystemRegistry, SystemSpec,
+    run_system, run_system_on_source_checked, run_system_on_source_metered,
+    run_system_on_source_profiled, run_system_on_traces, run_system_on_traces_metered,
+    SystemInstance, SystemRegistry, SystemSpec,
 };
 pub use report::{name_widths, print_report, render_report, render_row};
 pub use run::{
-    run, run_baseline, run_metered, run_metered_source, run_metered_source_checked, run_silo,
-    run_source, AnyEngine, Protocol, RunStats, ServedCounts,
+    run, run_baseline, run_metered, run_metered_source, run_metered_source_checked,
+    run_metered_source_profiled, run_silo, run_source, AnyEngine, Protocol, RunStats, ServedCounts,
+    PROFILE_PHASES,
 };
 pub use scenario::Scenario;
 pub use serve::{SimJob, SimJobEngine};

@@ -54,7 +54,11 @@ USAGE:
                                  .silo-serve), --cache-cap N (rows kept;
                                  oldest evicted beyond it), --resume
                                  (replay jobs journalled by a previous
-                                 run; cached points are not recomputed)
+                                 run; cached points are not recomputed),
+                                 --trace-out PATH (write a Chrome
+                                 trace-event JSON of request/job spans on
+                                 shutdown; GET /metrics and GET /trace
+                                 serve live telemetry either way)
     silo-sim hash SCENARIO       print the canonical content hash of the
                                  resolved sweep: stable across scenario
                                  key reordering and whitespace, changed
@@ -79,8 +83,8 @@ USAGE:
 OPTIONS:
     --scenario FILE      load a declarative scenario file (key = value:
                          systems, workloads, cores, scale, mlp, vault,
-                         seed, refs, threads, warmup, epoch, check);
-                         flags override it
+                         seed, refs, threads, warmup, epoch, check,
+                         profile); flags override it
     --systems a,b,c      systems to compare (default SILO,baseline;
                          see --list-systems)
     --cores N            cores / mesh nodes (default 16, max 64)
@@ -114,6 +118,16 @@ OPTIONS:
                          and the run loop's cross-layer assertions
                          (MSHR bounds, counter monotonicity); results
                          stay bit-identical to an unchecked run
+    --profile            hot-loop self-profiler: sample per-phase
+                         wall-clock (trace pull, engine step, timing,
+                         telemetry) for every run and print the phase
+                         table; results stay bit-identical to an
+                         unprofiled run (mutually exclusive with --check)
+    --profile-json PATH  write the per-run phase profiles as
+                         silo-profile/v1 JSON (implies --profile)
+    --profile-trace PATH write the merged phase profile as Chrome
+                         trace-event JSON for Perfetto / chrome://tracing
+                         (implies --profile)
     --list-systems       list registered systems and exit
     --list-workloads     list workload presets and the custom-spec
                          grammar, then exit (alias: --list)
@@ -155,6 +169,9 @@ struct Cli {
     warmup: Option<u64>,
     epoch: Option<u64>,
     check: Option<u64>,
+    profile: bool,
+    profile_json: Option<PathBuf>,
+    profile_trace: Option<PathBuf>,
     timeline: Option<PathBuf>,
     record_traces: Option<PathBuf>,
 }
@@ -274,6 +291,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
             "--warmup" => cli.warmup = Some(parse_value("--warmup", args.next())?),
             "--epoch" => cli.epoch = Some(parse_value("--epoch", args.next())?),
             "--check" => cli.check = Some(parse_value("--check", args.next())?),
+            "--profile" => cli.profile = true,
+            "--profile-json" => {
+                let p: String = parse_value("--profile-json", args.next())?;
+                cli.profile_json = Some(PathBuf::from(p));
+                cli.profile = true;
+            }
+            "--profile-trace" => {
+                let p: String = parse_value("--profile-trace", args.next())?;
+                cli.profile_trace = Some(PathBuf::from(p));
+                cli.profile = true;
+            }
             "--timeline" => {
                 let p: String = parse_value("--timeline", args.next())?;
                 cli.timeline = Some(PathBuf::from(p));
@@ -488,6 +516,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
             }
             "--cache-cap" => cfg.cache_cap = parse_value("--cache-cap", args.next())?,
             "--resume" => cfg.resume = true,
+            "--trace-out" => {
+                cfg.trace_out = Some(PathBuf::from(parse_value::<String>(
+                    "--trace-out",
+                    args.next(),
+                )?));
+            }
             other => return Err(bad("serve argument", other, "unknown option")),
         }
     }
@@ -523,7 +557,7 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
     );
     println!(
         "endpoints: POST /jobs, GET /jobs/ID[/result|/stream], GET /status, \
-         GET /version, POST /shutdown"
+         GET /metrics, GET /trace, GET /version, POST /shutdown"
     );
     handle.join();
     println!("silo-serve: drained and stopped");
@@ -832,6 +866,9 @@ fn build_simulation(cli: &Cli) -> Result<Simulation, ConfigError> {
     if let Some(check) = cli.check {
         b = b.check_every(check);
     }
+    if cli.profile {
+        b = b.profile(true);
+    }
     let sim = b.build()?;
     if cli.timeline.is_some() && sim.spec().meter.epoch_refs.is_none() {
         return Err(ConfigError::BadValue {
@@ -910,6 +947,58 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if cli.profile {
+        print_profile(&records);
+    }
+    if let Some(path) = &cli.profile_json {
+        let doc = format!("{}\n", bench::profile_json(&records));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} profile to {}",
+            bench::SCHEMA_PROFILE,
+            path.display()
+        );
+    }
+    if let Some(path) = &cli.profile_trace {
+        let Some(merged) = bench::merged_profile(&records) else {
+            eprintln!("error: --profile-trace found no profiled runs");
+            std::process::exit(1);
+        };
+        if let Err(e) = std::fs::write(path, merged.chrome_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "wrote merged phase trace to {} (open in Perfetto or chrome://tracing)",
+            path.display()
+        );
+    }
+}
+
+/// Prints the merged hot-loop phase profile: one row per phase with
+/// accumulated wall-clock, sample count, and share of the total.
+fn print_profile(records: &[BenchRecord]) {
+    let Some(p) = bench::merged_profile(records) else {
+        return;
+    };
+    println!();
+    println!("hot-loop profile (all runs merged):");
+    println!(
+        "{:<12} {:>12} {:>12} {:>7}",
+        "phase", "wall(ms)", "samples", "share"
+    );
+    for i in 0..p.len() {
+        println!(
+            "{:<12} {:>12.2} {:>12} {:>6.1}%",
+            p.labels()[i],
+            p.nanos()[i] as f64 / 1e6,
+            p.samples()[i],
+            100.0 * p.share(i)
+        );
     }
 }
 

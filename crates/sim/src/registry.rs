@@ -19,11 +19,12 @@
 
 use crate::config::SystemConfig;
 use crate::run::{
-    baseline_engine, run_metered_source, run_metered_source_checked, silo_engine, AnyEngine,
-    RunStats,
+    baseline_engine, run_metered_source, run_metered_source_checked, run_metered_source_profiled,
+    silo_engine, AnyEngine, RunStats,
 };
 use crate::timing::TimingModel;
 use crate::workload::WorkloadSpec;
+use silo_obs::PhaseProfile;
 use silo_telemetry::{MeterConfig, Telemetry};
 use silo_trace::{SliceTrace, TraceSource};
 use silo_types::ByteSize;
@@ -297,6 +298,30 @@ pub fn run_system_on_source_checked(
     .map_err(|e| format!("{}: invariant violation {e}", sys.name()))?;
     stats.system = sys.name().to_string();
     Ok((stats, telemetry))
+}
+
+/// [`run_system_on_source_metered`] with the hot-loop self-profiler
+/// enabled (see [`crate::run_metered_source_profiled`]): the returned
+/// statistics and telemetry are bit-identical to the unprofiled path,
+/// plus a [`PhaseProfile`] of per-phase wall-clock samples.
+pub fn run_system_on_source_profiled(
+    sys: &SystemSpec,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry, PhaseProfile) {
+    let mut inst = sys.instantiate(cfg);
+    let (mut stats, telemetry, profile) = run_metered_source_profiled(
+        &mut inst.engine,
+        &mut inst.timing,
+        cfg,
+        workload_name,
+        source,
+        meter,
+    );
+    stats.system = sys.name().to_string();
+    (stats, telemetry, profile)
 }
 
 #[cfg(test)]

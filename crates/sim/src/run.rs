@@ -28,10 +28,12 @@ use silo_coherence::{
     AccessResult, CoherenceStats, PrivateMoesi, PrivateMoesiConfig, ServedBy, SharedMesi,
     SharedMesiConfig,
 };
+use silo_obs::PhaseProfile;
 use silo_telemetry::{EpochEnv, MeterConfig, Recorder, ServiceLevel, Telemetry, Timeline};
 use silo_trace::{SliceTrace, TraceSource};
 use silo_types::stats::{ratio, Counter, Histogram};
 use silo_types::{Cycles, MemRef};
+use std::time::Instant;
 
 /// A protocol engine the simulation loop can drive. Object-safe, so the
 /// system registry can hand out `Box<dyn Protocol>` factories.
@@ -209,6 +211,27 @@ impl From<Box<dyn Protocol>> for AnyEngine {
     fn from(e: Box<dyn Protocol>) -> Self {
         AnyEngine::Custom(e)
     }
+}
+
+/// Phase labels of the hot-loop self-profiler, in index order: trace
+/// pull (source + prefetch hint), engine step (`access_into`), timing
+/// (MSHR bookkeeping + `TimingModel::charge`), and telemetry (epoch
+/// sampling; zero samples when the meter is disabled).
+pub const PROFILE_PHASES: [&str; 4] = ["trace_pull", "engine_step", "timing", "telemetry"];
+
+/// Index of `trace_pull` in [`PROFILE_PHASES`].
+const PH_TRACE: usize = 0;
+/// Index of `engine_step` in [`PROFILE_PHASES`].
+const PH_ENGINE: usize = 1;
+/// Index of `timing` in [`PROFILE_PHASES`].
+const PH_TIMING: usize = 2;
+/// Index of `telemetry` in [`PROFILE_PHASES`].
+const PH_TELEMETRY: usize = 3;
+
+/// Nanoseconds since `t`, saturating at `u64::MAX`.
+#[inline]
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The telemetry-side service-level tag of a coherence classification.
@@ -696,8 +719,50 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
     source: &mut dyn TraceSource,
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry) {
-    match run_core::<P, false>(engine, timing, cfg, workload_name, source, meter, 0) {
+    let mut profile = PhaseProfile::new(&PROFILE_PHASES);
+    match run_core::<P, false, false>(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        source,
+        meter,
+        0,
+        &mut profile,
+    ) {
         Ok(out) => out,
+        Err(e) => unreachable!("unchecked runs cannot fail: {e}"),
+    }
+}
+
+/// [`run_metered_source`] with the hot-loop self-profiler enabled: each
+/// of the [`PROFILE_PHASES`] is wall-clock sampled per reference (trace
+/// pull per round) and the accumulated [`PhaseProfile`] is returned
+/// alongside the results. Profiling only reads the monotonic clock — it
+/// never touches simulated state — so the returned statistics and
+/// telemetry are **bit-identical** to [`run_metered_source`]. The
+/// unprofiled path is a separate monomorphization with every clock read
+/// compiled out, so leaving `--profile` off costs nothing.
+pub fn run_metered_source_profiled<P: Protocol + ?Sized>(
+    engine: &mut P,
+    timing: &mut TimingModel,
+    cfg: &SystemConfig,
+    workload_name: &str,
+    source: &mut dyn TraceSource,
+    meter: &MeterConfig,
+) -> (RunStats, Telemetry, PhaseProfile) {
+    let mut profile = PhaseProfile::new(&PROFILE_PHASES);
+    match run_core::<P, false, true>(
+        engine,
+        timing,
+        cfg,
+        workload_name,
+        source,
+        meter,
+        0,
+        &mut profile,
+    ) {
+        Ok((stats, telemetry)) => (stats, telemetry, profile),
         Err(e) => unreachable!("unchecked runs cannot fail: {e}"),
     }
 }
@@ -727,7 +792,7 @@ pub fn run_metered_source_checked<P: Protocol + ?Sized>(
     meter: &MeterConfig,
     check_every: u64,
 ) -> Result<(RunStats, Telemetry), String> {
-    run_core::<P, true>(
+    run_core::<P, true, false>(
         engine,
         timing,
         cfg,
@@ -735,14 +800,20 @@ pub fn run_metered_source_checked<P: Protocol + ?Sized>(
         source,
         meter,
         check_every.max(1),
+        &mut PhaseProfile::new(&PROFILE_PHASES),
     )
 }
 
-/// The shared implementation behind the checked and unchecked entry
-/// points. `CHECKED` is a const generic so the oracle branch vanishes
-/// from the unchecked monomorphization instead of costing a
-/// per-reference test.
-fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
+/// The shared implementation behind the checked, unchecked, and
+/// profiled entry points. `CHECKED` and `PROFILED` are const generics
+/// so the oracle branch and the profiler's clock reads vanish from the
+/// monomorphizations that don't use them instead of costing a
+/// per-reference test. Only three monomorphizations exist per engine
+/// type: unchecked, checked, and profiled (the builder rejects
+/// combining `--check` with `--profile` — the oracle sweep would
+/// dominate the phase timings).
+#[allow(clippy::too_many_arguments)]
+fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
     engine: &mut P,
     timing: &mut TimingModel,
     cfg: &SystemConfig,
@@ -750,6 +821,7 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
     source: &mut dyn TraceSource,
     meter: &MeterConfig,
     check_every: u64,
+    profile: &mut PhaseProfile,
 ) -> Result<(RunStats, Telemetry), String> {
     let mut cores: Vec<CoreState> = (0..cfg.cores).map(|_| CoreState::new(cfg.mlp)).collect();
     let mut served = ServedCounts::default();
@@ -782,6 +854,7 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
     let mut round: Vec<(usize, MemRef)> = Vec::with_capacity(cfg.cores);
     while live > 0 {
         round.clear();
+        let t = PROFILED.then(Instant::now);
         for (c, done) in exhausted.iter_mut().enumerate() {
             if *done {
                 continue;
@@ -797,6 +870,9 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
                 }
             }
         }
+        if let Some(t) = t {
+            profile.add(PH_TRACE, elapsed_ns(t));
+        }
         for &(c, mr) in &round {
             // The reference instruction itself retires too: charge
             // `gap + 1` cycles to match the `gap + 1` instructions, or a
@@ -809,9 +885,14 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
                 core.instructions += instructions;
                 core.cursor += Cycles(instructions);
 
+                let t = PROFILED.then(Instant::now);
                 engine.access_into(c, mr, &mut res);
+                if let Some(t) = t {
+                    profile.add(PH_ENGINE, elapsed_ns(t));
+                }
                 served_by = res.served_by();
                 served.record(served_by);
+                let t = PROFILED.then(Instant::now);
                 if !res.llc_access {
                     // SRAM hit: absorbed by the pipeline at base CPI.
                     core.finish = core.finish.max(core.cursor);
@@ -840,6 +921,9 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
                         core.cursor = core.cursor.max(done);
                     }
                 }
+                if let Some(t) = t {
+                    profile.add(PH_TIMING, elapsed_ns(t));
+                }
             }
 
             processed += 1;
@@ -847,9 +931,13 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool>(
                 oracle_sweep(&*engine, timing, &cores, cfg.mlp, processed, &mut oracle)?;
             }
             if sampling {
+                let t = PROFILED.then(Instant::now);
                 timeline.record_ref(service_level(served_by), instructions, latency);
                 if timeline.epoch_full() {
                     timeline.flush(&epoch_env(&cores, timing, meter));
+                }
+                if let Some(t) = t {
+                    profile.add(PH_TELEMETRY, elapsed_ns(t));
                 }
             }
             if warmup_pending && processed >= meter.warmup_refs {

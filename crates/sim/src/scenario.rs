@@ -21,6 +21,7 @@
 //! warmup    = 6400        # telemetry: refs of cache warmup (0 = off)
 //! epoch     = 16000       # telemetry: refs per timeline epoch
 //! check     = 50000       # invariant-oracle sweep period (refs)
+//! profile   = on          # hot-loop self-profiler (1/0/true/false/on/off)
 //! ```
 //!
 //! Workload lists use the same grammar as `--workloads`
@@ -63,6 +64,21 @@ pub struct Scenario {
     pub epoch: Option<u64>,
     /// Run-time invariant oracle period in references (`--check`).
     pub check: Option<u64>,
+    /// Hot-loop self-profiler toggle (`--profile`).
+    pub profile: Option<bool>,
+}
+
+/// Parses a scenario boolean: `1`/`0`, `true`/`false`, `on`/`off`
+/// (case-insensitive).
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, ConfigError> {
+    match value.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" => Ok(true),
+        "0" | "false" | "off" => Ok(false),
+        _ => Err(err(
+            line,
+            format!("bad {key} value '{value}' (use 1/0, true/false, or on/off)"),
+        )),
+    }
 }
 
 fn err(line: usize, message: impl Into<String>) -> ConfigError {
@@ -218,6 +234,10 @@ impl Scenario {
                     dup(s.check.is_some())?;
                     s.check = Some(parse_scalar(n, "check", value)?);
                 }
+                "profile" => {
+                    dup(s.profile.is_some())?;
+                    s.profile = Some(parse_bool(n, "profile", value)?);
+                }
                 other => return Err(err(n, format!("unknown key '{other}'"))),
             }
         }
@@ -262,7 +282,8 @@ mod tests {
              threads = 2\n\
              warmup = 800\n\
              epoch = 1000\n\
-             check = 5000\n",
+             check = 5000\n\
+             profile = off\n",
         )
         .expect("valid scenario");
         assert_eq!(
@@ -287,6 +308,22 @@ mod tests {
         assert_eq!(s.warmup, Some(800));
         assert_eq!(s.epoch, Some(1000));
         assert_eq!(s.check, Some(5000));
+        assert_eq!(s.profile, Some(false));
+    }
+
+    #[test]
+    fn profile_accepts_every_boolean_spelling() {
+        for (value, want) in [
+            ("1", true),
+            ("true", true),
+            ("ON", true),
+            ("0", false),
+            ("False", false),
+            ("off", false),
+        ] {
+            let s = Scenario::parse(&format!("profile = {value}\n")).expect(value);
+            assert_eq!(s.profile, Some(want), "profile = {value}");
+        }
     }
 
     #[test]
@@ -309,6 +346,8 @@ mod tests {
             ("warmup = soon", "bad warmup value"),
             ("epoch = -5", "bad epoch value"),
             ("check = never", "bad check value"),
+            ("profile = maybe", "bad profile value"),
+            ("profile = 1\nprofile = 0", "duplicate key"),
             ("cores = ,", "at least one value"),
             ("systems = ,", "at least one value"),
             ("vault = ,", "at least one value"),

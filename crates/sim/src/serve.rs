@@ -18,7 +18,8 @@ use crate::bench::{record_json, run_point, SweepPoint, SweepSpec};
 use crate::builder::Simulation;
 use crate::canon;
 use crate::scenario::Scenario;
-use silo_serve::{JobEngine, JobPlan};
+use crate::timeline::epoch_ndjson;
+use silo_serve::{JobEngine, JobPlan, PointOutput};
 
 /// One planned serve job: the resolved sweep, its expanded points, and
 /// their precomputed content keys (trace files are hashed exactly once,
@@ -63,9 +64,12 @@ impl JobEngine for SimJobEngine {
         job.keys[index].clone()
     }
 
-    fn run_point(&self, job: &SimJob, index: usize) -> Result<String, String> {
+    fn run_point(&self, job: &SimJob, index: usize) -> Result<PointOutput, String> {
         let record = run_point(&job.spec, &job.points[index]);
-        Ok(record_json(&record).to_string())
+        Ok(PointOutput {
+            row: record_json(&record).to_string(),
+            events: epoch_ndjson(&record),
+        })
     }
 
     fn document(&self, job: &SimJob, rows: &[String]) -> String {
@@ -127,10 +131,38 @@ seed = 9
     }
 
     #[test]
+    fn epoch_metered_points_emit_typed_epoch_events() {
+        let scenario = "\
+systems = SILO, baseline
+workloads = uniform-private
+cores = 2
+refs = 600
+epoch = 400
+seed = 9
+";
+        let plan = SimJobEngine.plan(scenario).expect("valid scenario");
+        let out = SimJobEngine.run_point(&plan.job, 0).expect("point runs");
+        // ceil(2 cores x 600 refs / 400 per epoch) = 3 epochs x 2 systems.
+        assert_eq!(out.events.len(), 6);
+        for line in &out.events {
+            assert!(line.starts_with("{\"type\":\"epoch\","), "{line}");
+            assert!(!line.contains("\"point\""), "no job-local index: {line}");
+            crate::json::Json::parse(line).expect("event line parses");
+        }
+        // The events are exactly the record's timeline rendering.
+        let record = run_point(plan.job.spec(), &plan.job.spec().points()[0]);
+        assert_eq!(out.events, epoch_ndjson(&record));
+    }
+
+    #[test]
     fn run_point_rows_assemble_into_the_direct_document() {
         let plan = SimJobEngine.plan(SCENARIO).expect("valid scenario");
         let rows: Vec<String> = (0..plan.points)
-            .map(|i| SimJobEngine.run_point(&plan.job, i).expect("point runs"))
+            .map(|i| {
+                let out = SimJobEngine.run_point(&plan.job, i).expect("point runs");
+                assert!(out.events.is_empty(), "no epoch meter, no events");
+                out.row
+            })
             .collect();
         let doc = SimJobEngine.document(&plan.job, &rows);
         let direct = format!(

@@ -78,6 +78,63 @@ pub fn timeline_csv(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Renders one record's epoch rows as typed NDJSON lines — the
+/// `{"type":"epoch",...}` records `silo-sim serve` interleaves into an
+/// epoch-opt-in `/jobs/ID/stream`. Every key mirrors a [`TIMELINE_HEADER`]
+/// column and every value uses the exact format specifier of
+/// [`timeline_csv`], so a streamed record is field-equal to the
+/// corresponding CSV line. Deliberately *without* a point index: the
+/// lines are cached under the point's content key, which the same point
+/// can hold at a different index in another job — the daemon wraps in
+/// the job-local index at stream time. Runs without epoch sampling
+/// yield no lines.
+pub fn epoch_ndjson(r: &BenchRecord) -> Vec<String> {
+    use crate::json::Json;
+    let mut out = Vec::new();
+    for run in &r.runs {
+        for row in run.telemetry.timeline.rows() {
+            let mut line = format!(
+                "{{\"type\":\"epoch\",\"workload\":{},\"system\":{},\"cores\":{},\
+                 \"scale\":{},\"mlp\":{},\"vault\":{},\"epoch\":{},\"warmup\":{},\
+                 \"refs\":{},\"instructions\":{},\"cycles\":{},\"ipc\":{:.6}",
+                Json::Str(r.point.workload.name.clone()),
+                Json::Str(run.stats.system.clone()),
+                r.point.cores,
+                r.point.scale,
+                r.point.mlp,
+                Json::Str(r.point.vault.name().into()),
+                row.epoch,
+                u8::from(row.warmup),
+                row.refs,
+                row.instructions,
+                row.cycles,
+                row.ipc(),
+            );
+            for level in ServiceLevel::ALL {
+                let _ = write!(line, ",\"{}\":{}", level.name(), row.served[level.index()]);
+            }
+            let _ = write!(
+                line,
+                ",\"llc_accesses\":{},\"llc_p50\":{:.2},\"llc_p95\":{:.2},\
+                 \"llc_p99\":{:.2},\"mesh_messages\":{},\"mesh_max_link_flits\":{},\
+                 \"mesh_mean_link_flits\":{:.3},\"vault_busy_cycles\":{},\
+                 \"vault_occupancy\":{:.6}}}",
+                row.llc_accesses,
+                row.llc_p50,
+                row.llc_p95,
+                row.llc_p99,
+                row.mesh_messages,
+                row.mesh_max_link_flits,
+                row.mesh_mean_link_flits,
+                row.vault_busy_cycles,
+                row.vault_occupancy,
+            );
+            out.push(line);
+        }
+    }
+    out
+}
+
 /// Writes the timeline CSV to `path` and returns the number of data
 /// rows written.
 ///
@@ -121,6 +178,46 @@ mod tests {
         // 2 cores x 600 refs = 1200 refs at 400/epoch = 3 epochs for
         // each of the two systems.
         assert_eq!(rows, 6);
+    }
+
+    /// Raw text of `key`'s value in a flat one-line JSON object (no
+    /// value in these records contains `,"`).
+    fn field_text<'a>(line: &'a str, key: &str) -> &'a str {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat).map(|i| i + pat.len()).expect("key present");
+        let rest = &line[start..];
+        &rest[..rest.find(",\"").unwrap_or(rest.len() - 1)]
+    }
+
+    #[test]
+    fn epoch_ndjson_is_field_equal_to_the_csv() {
+        let sim = Simulation::builder()
+            .systems(["SILO", "baseline"])
+            .workloads(["uniform-private"])
+            .cores([2])
+            .refs_per_core(600)
+            .epoch_refs(400)
+            .seed(3)
+            .build()
+            .expect("valid");
+        let records = sim.run_sequential();
+        let lines: Vec<String> = records.iter().flat_map(epoch_ndjson).collect();
+        // ceil(1200 refs / 400 per epoch) = 3 epochs x 2 systems.
+        assert_eq!(lines.len(), 6);
+        let csv = timeline_csv(&records);
+        let columns: Vec<&str> = TIMELINE_HEADER.split(',').collect();
+        for (csv_row, line) in csv.lines().skip(1).zip(&lines) {
+            crate::json::Json::parse(line).expect("epoch line parses");
+            assert_eq!(field_text(line, "type"), "\"epoch\"");
+            for (col, raw) in columns.iter().zip(csv_row.split(',')) {
+                let want = if matches!(*col, "workload" | "system" | "vault") {
+                    format!("\"{raw}\"")
+                } else {
+                    raw.to_string()
+                };
+                assert_eq!(field_text(line, col), want, "column {col} of {line}");
+            }
+        }
     }
 
     #[test]

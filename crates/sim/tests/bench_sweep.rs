@@ -25,6 +25,7 @@ fn sweep_spec() -> SweepSpec {
         seed: 7,
         meter: MeterConfig::default(),
         check_every: None,
+        profile: false,
     }
 }
 
@@ -191,6 +192,7 @@ fn hit_only_ipc_stays_at_or_below_one_through_the_harness() {
         seed: 3,
         meter: MeterConfig::default(),
         check_every: None,
+        profile: false,
     };
     for r in run_sweep(&spec, 2) {
         for run in &r.runs {

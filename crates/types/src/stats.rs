@@ -173,6 +173,27 @@ impl Histogram {
         self.count
     }
 
+    /// Saturating sum of all recorded samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw per-bucket sample counts, in bucket-index order. Combined
+    /// with [`Histogram::bucket_upper_bound`] this is enough to render
+    /// the histogram in external formats (e.g. Prometheus cumulative
+    /// `le` buckets).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Largest value a sample in bucket `idx` can take (inclusive).
+    /// For log2 bucketing this is exact for integer samples: bucket `b`
+    /// holds `[2^(b-1), 2^b)`, so its inclusive upper bound is
+    /// `2^b - 1`.
+    pub fn bucket_upper_bound(&self, idx: usize) -> u64 {
+        self.bucket_bounds(idx).1.saturating_sub(1)
+    }
+
     /// Mean of recorded samples, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         ratio(self.sum, self.count)
