@@ -80,7 +80,7 @@ pub enum Background {
 }
 
 /// The full description of one access as executed by a protocol engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccessResult {
     /// Who served the data.
     pub served: Option<ServedBy>,

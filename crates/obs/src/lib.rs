@@ -1,6 +1,6 @@
 //! Observability engines for the SILO toolchain.
 //!
-//! Two independent engines plus a hot-loop helper, all dependency-free
+//! Independent engines plus hot-loop helpers, all dependency-free
 //! (only `silo-types`):
 //!
 //! * [`metrics`] — an ordered metrics registry of counters, gauges, and
@@ -11,7 +11,13 @@
 //!   directly in Perfetto or `chrome://tracing`.
 //! * [`profile`] — a per-phase wall-clock accumulator for the
 //!   simulator's hot loop (`silo-sim --profile`), with the same
-//!   trace-event export.
+//!   trace-event export. Phases may nest; the sub-phase buckets come
+//!   from [`probe`] lap probes.
+//! * [`probe`] — gap-free stopwatch-lap probes for sub-phase
+//!   attribution, compiled out entirely via the [`NoProbe`]
+//!   implementation when profiling is off.
+//! * [`log`] — a leveled, timestamped, bounded-ring structured event
+//!   log with NDJSON export (`GET /logs`, `--log-out`).
 //!
 //! None of these engines touch simulated state: instrumented paths must
 //! produce byte-identical `silo-bench/v1` documents, so everything here
@@ -19,11 +25,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod log;
 pub mod metrics;
+pub mod probe;
 pub mod profile;
 pub mod trace;
 
+pub use crate::log::{EventLog, LogLevel, LogRecord};
 pub use metrics::{Counter, Gauge, Histo, Registry};
+pub use probe::{Lap, LapProbe, NoProbe};
 pub use profile::PhaseProfile;
 pub use trace::{Span, SpanRecorder};
 

@@ -1,0 +1,154 @@
+//! Lap probes: sub-phase wall-clock attribution with zero gaps.
+//!
+//! A [`PhaseProfile`](crate::PhaseProfile) measures a phase by wrapping
+//! it in two clock reads. That is fine at phase granularity (hundreds of
+//! nanoseconds per phase), but splitting a ~90ns phase into sub-phases
+//! the same way would spend more time reading the clock than doing the
+//! work, and the unmeasured gap *between* the wrapped regions would
+//! dwarf the children. A [`LapProbe`] avoids both problems with the
+//! stopwatch-lap trick: every [`lap`](LapProbe::lap) takes **one** clock
+//! read that simultaneously ends the current segment (accumulating it
+//! into the named bucket) and starts the next. Consecutive laps tile the
+//! interval since [`begin`](LapProbe::begin) exactly — the buckets sum
+//! to the parent by construction, with no gap and half the clock reads.
+//!
+//! Instrumented code is generic over the [`Lap`] trait so the probed and
+//! unprobed monomorphizations share one body: [`NoProbe`] compiles every
+//! probe operation out entirely (the same `const`-dispatch discipline as
+//! the run loop's `PROFILED` parameter), keeping unprofiled runs
+//! byte-identical and cost-free.
+
+use std::time::Instant;
+
+/// The probe operations instrumented code is generic over.
+///
+/// Implementors are [`LapProbe`] (real measurement) and [`NoProbe`]
+/// (no-ops, compiled out).
+pub trait Lap {
+    /// Starts (or restarts) the stopwatch and counts one probed call.
+    fn begin(&mut self);
+    /// Ends the current segment, accumulating it into bucket `idx`, and
+    /// starts the next segment.
+    fn lap(&mut self, idx: usize);
+}
+
+/// The disabled probe: every operation is a no-op the optimizer deletes,
+/// so un-instrumented code paths pay nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl Lap for NoProbe {
+    #[inline(always)]
+    fn begin(&mut self) {}
+    #[inline(always)]
+    fn lap(&mut self, _idx: usize) {}
+}
+
+/// A stopwatch with `N` named buckets, accumulating lap times.
+#[derive(Clone, Copy, Debug)]
+pub struct LapProbe<const N: usize> {
+    t: Instant,
+    nanos: [u64; N],
+    samples: [u64; N],
+    calls: u64,
+}
+
+impl<const N: usize> LapProbe<N> {
+    /// A zeroed probe. The embedded instant is placeholder state;
+    /// [`begin`](Lap::begin) resets it before every probed call.
+    pub fn new() -> Self {
+        LapProbe {
+            t: Instant::now(),
+            nanos: [0; N],
+            samples: [0; N],
+            calls: 0,
+        }
+    }
+
+    /// Accumulated nanoseconds per bucket.
+    pub fn nanos(&self) -> &[u64; N] {
+        &self.nanos
+    }
+
+    /// Lap counts per bucket.
+    pub fn samples(&self) -> &[u64; N] {
+        &self.samples
+    }
+
+    /// Number of [`begin`](Lap::begin) calls (probed calls observed).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Sum of all buckets — exactly the wall-clock tiled by the laps.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
+impl<const N: usize> Default for LapProbe<N> {
+    fn default() -> Self {
+        LapProbe::new()
+    }
+}
+
+impl<const N: usize> Lap for LapProbe<N> {
+    #[inline]
+    fn begin(&mut self) {
+        self.calls += 1;
+        self.t = Instant::now();
+    }
+
+    #[inline]
+    fn lap(&mut self, idx: usize) {
+        let now = Instant::now();
+        self.nanos[idx] += now.duration_since(self.t).as_nanos() as u64;
+        self.samples[idx] += 1;
+        self.t = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_tile_the_interval_exactly() {
+        let mut p: LapProbe<3> = LapProbe::new();
+        for _ in 0..100 {
+            p.begin();
+            std::hint::black_box(0u64);
+            p.lap(0);
+            std::hint::black_box(0u64);
+            p.lap(2);
+        }
+        assert_eq!(p.calls(), 100);
+        assert_eq!(p.samples(), &[100, 0, 100]);
+        assert_eq!(p.total_nanos(), p.nanos()[0] + p.nanos()[1] + p.nanos()[2]);
+    }
+
+    #[test]
+    fn begin_resets_the_stopwatch() {
+        let mut p: LapProbe<1> = LapProbe::new();
+        p.begin();
+        p.lap(0);
+        let first = p.nanos()[0];
+        // A second begin/lap pair measures only its own segment, not the
+        // time between the pairs.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        p.begin();
+        p.lap(0);
+        assert!(
+            p.nanos()[0] - first < 5_000_000,
+            "sleep between probed calls must not be attributed"
+        );
+    }
+
+    #[test]
+    fn no_probe_is_inert() {
+        let mut n = NoProbe;
+        n.begin();
+        n.lap(0);
+        n.lap(usize::MAX); // out-of-range indices are fine: there are no buckets
+    }
+}

@@ -7,9 +7,17 @@
 //! loop monomorphizes on a `const PROFILED: bool`, the same trick the
 //! `--check` oracle uses).
 //!
+//! Phases may form a tree ([`PhaseProfile::with_tree`]): a child phase
+//! attributes a sub-interval of its parent, as measured by a
+//! [`LapProbe`](crate::LapProbe), so e.g. `engine_step` can split into
+//! the coherence engine's lookup/directory/fill/writeback segments.
+//! Totals and shares are computed over root phases only — children are
+//! a refinement of their parent, not extra time.
+//!
 //! Profiles from multiple runs [`merge`](PhaseProfile::merge), and a
-//! profile exports as Chrome trace-event JSON (phases laid end-to-end,
-//! so Perfetto shows the relative share of each phase at a glance).
+//! profile exports as Chrome trace-event JSON (root phases laid
+//! end-to-end, children nested inside their parent's interval, so
+//! Perfetto shows the relative share of each phase at a glance).
 
 use crate::trace::{chrome_document, Span};
 
@@ -17,12 +25,13 @@ use crate::trace::{chrome_document, Span};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PhaseProfile {
     labels: Vec<String>,
+    parents: Vec<Option<usize>>,
     nanos: Vec<u64>,
     samples: Vec<u64>,
 }
 
 impl PhaseProfile {
-    /// Creates a profile with the given phase labels, all zeroed.
+    /// Creates a flat profile with the given phase labels, all zeroed.
     ///
     /// # Panics
     ///
@@ -31,8 +40,34 @@ impl PhaseProfile {
         assert!(!labels.is_empty(), "profile needs at least one phase");
         PhaseProfile {
             labels: labels.iter().map(|l| (*l).to_string()).collect(),
+            parents: vec![None; labels.len()],
             nanos: vec![0; labels.len()],
             samples: vec![0; labels.len()],
+        }
+    }
+
+    /// Creates a hierarchical profile: each phase is `(label, parent)`,
+    /// where `parent` indexes an earlier phase (or `None` for a root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or a parent index does not point at
+    /// an earlier phase.
+    pub fn with_tree(phases: &[(&str, Option<usize>)]) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        for (i, (label, parent)) in phases.iter().enumerate() {
+            if let Some(p) = parent {
+                assert!(
+                    *p < i,
+                    "phase '{label}' ({i}) must name an earlier phase as parent, got {p}"
+                );
+            }
+        }
+        PhaseProfile {
+            labels: phases.iter().map(|(l, _)| (*l).to_string()).collect(),
+            parents: phases.iter().map(|(_, p)| *p).collect(),
+            nanos: vec![0; phases.len()],
+            samples: vec![0; phases.len()],
         }
     }
 
@@ -45,6 +80,18 @@ impl PhaseProfile {
     pub fn add(&mut self, idx: usize, nanos: u64) {
         self.nanos[idx] += nanos;
         self.samples[idx] += 1;
+    }
+
+    /// Adds pre-accumulated time to phase `idx`: `nanos` total across
+    /// `samples` samples. This is how a [`LapProbe`](crate::LapProbe)'s
+    /// buckets fold into the profile once at the end of a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn add_bulk(&mut self, idx: usize, nanos: u64, samples: u64) {
+        self.nanos[idx] += nanos;
+        self.samples[idx] += samples;
     }
 
     /// Number of phases.
@@ -63,6 +110,29 @@ impl PhaseProfile {
         &self.labels
     }
 
+    /// Parent phase of `idx`, or `None` for a root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn parent(&self, idx: usize) -> Option<usize> {
+        self.parents[idx]
+    }
+
+    /// Indices of the direct children of `idx`, in construction order.
+    pub fn children(&self, idx: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.parents[i] == Some(idx))
+            .collect()
+    }
+
+    /// Indices of the root phases, in construction order.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_none())
+            .collect()
+    }
+
     /// Accumulated nanoseconds per phase, parallel to `labels()`.
     pub fn nanos(&self) -> &[u64] {
         &self.nanos
@@ -73,13 +143,15 @@ impl PhaseProfile {
         &self.samples
     }
 
-    /// Sum of all phase nanoseconds.
+    /// Sum of the root phases' nanoseconds. Children refine their
+    /// parent's interval, so counting them too would double-book.
     pub fn total_nanos(&self) -> u64 {
-        self.nanos.iter().sum()
+        self.roots().into_iter().map(|i| self.nanos[i]).sum()
     }
 
-    /// Fraction of total time spent in phase `idx` (0.0 when nothing
-    /// was recorded).
+    /// Fraction of total (root) time spent in phase `idx` (0.0 when
+    /// nothing was recorded). For a child phase this is its share of the
+    /// whole run, not of its parent.
     ///
     /// # Panics
     ///
@@ -92,9 +164,10 @@ impl PhaseProfile {
     ///
     /// # Panics
     ///
-    /// Panics if the phase labels differ.
+    /// Panics if the phase labels or the tree shape differ.
     pub fn merge(&mut self, other: &PhaseProfile) {
         assert_eq!(self.labels, other.labels, "phase label mismatch");
+        assert_eq!(self.parents, other.parents, "phase tree mismatch");
         for (n, o) in self.nanos.iter_mut().zip(other.nanos.iter()) {
             *n += o;
         }
@@ -104,24 +177,42 @@ impl PhaseProfile {
     }
 
     /// Renders the profile as a Chrome trace-event JSON document: one
-    /// complete event per phase, laid end-to-end on a single track in
-    /// label order (timestamps in microseconds, nanosecond remainders
-    /// rounded to nearest).
+    /// complete event per phase. Root phases lie end-to-end on a single
+    /// track in label order; each child nests inside its parent's
+    /// interval (children of one parent laid end-to-end from the
+    /// parent's start), with a `parent` arg linking the events.
+    /// Timestamps are in microseconds, nanosecond remainders rounded to
+    /// nearest.
     pub fn chrome_json(&self) -> String {
         let mut spans = Vec::with_capacity(self.labels.len());
-        let mut cursor = 0u64;
+        // Start of each phase's interval; for parents this doubles as
+        // the running cursor its children advance.
+        let mut cursor = vec![0u64; self.len()];
+        let mut root_cursor = 0u64;
         for (i, label) in self.labels.iter().enumerate() {
             let dur_us = (self.nanos[i] + 500) / 1_000;
+            let (start, parent) = match self.parents[i] {
+                None => {
+                    let s = root_cursor;
+                    root_cursor += dur_us;
+                    (s, None)
+                }
+                Some(p) => {
+                    let s = cursor[p];
+                    cursor[p] += dur_us;
+                    (s, Some(p as u64 + 1))
+                }
+            };
+            cursor[i] = start;
             spans.push(Span {
                 id: i as u64 + 1,
-                parent: None,
+                parent,
                 name: label.clone(),
                 cat: "profile".to_string(),
                 tid: 0,
-                start_us: cursor,
+                start_us: start,
                 dur_us,
             });
-            cursor += dur_us;
         }
         chrome_document(&spans)
     }
@@ -172,6 +263,40 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "phase tree mismatch")]
+    fn merge_rejects_different_trees() {
+        let mut a = PhaseProfile::with_tree(&[("x", None), ("y", None)]);
+        a.merge(&PhaseProfile::with_tree(&[("x", None), ("y", Some(0))]));
+    }
+
+    #[test]
+    fn tree_totals_count_roots_only() {
+        let mut p = PhaseProfile::with_tree(&[
+            ("engine", None),
+            ("lookup", Some(0)),
+            ("dir", Some(0)),
+            ("timing", None),
+        ]);
+        p.add_bulk(1, 300, 10);
+        p.add_bulk(2, 700, 10);
+        p.add_bulk(0, 1000, 10); // parent = sum of children, folded by the caller
+        p.add(3, 1000);
+        assert_eq!(p.total_nanos(), 2000, "children are not extra time");
+        assert!((p.share(0) - 0.5).abs() < 1e-12);
+        assert!((p.share(2) - 0.35).abs() < 1e-12);
+        assert_eq!(p.parent(1), Some(0));
+        assert_eq!(p.parent(3), None);
+        assert_eq!(p.children(0), vec![1, 2]);
+        assert_eq!(p.roots(), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must name an earlier phase")]
+    fn tree_rejects_forward_parents() {
+        let _ = PhaseProfile::with_tree(&[("a", Some(0))]);
+    }
+
+    #[test]
     fn chrome_export_lays_phases_end_to_end() {
         let mut p = PhaseProfile::new(&["pull", "step"]);
         p.add(0, 2_000_000); // 2000us
@@ -181,5 +306,29 @@ mod tests {
         assert!(json.contains("\"ts\":0,\"dur\":2000"));
         assert!(json.contains("\"name\":\"step\""));
         assert!(json.contains("\"ts\":2000,\"dur\":1000"));
+    }
+
+    #[test]
+    fn chrome_export_nests_children_in_the_parent_interval() {
+        let mut p = PhaseProfile::with_tree(&[
+            ("pull", None),
+            ("step", None),
+            ("lookup", Some(1)),
+            ("dir", Some(1)),
+        ]);
+        p.add(0, 1_000_000);
+        p.add(1, 2_000_000);
+        p.add_bulk(2, 500_000, 1);
+        p.add_bulk(3, 1_500_000, 1);
+        let json = p.chrome_json();
+        // step starts after pull; its children tile it from its start.
+        assert!(json.contains("\"name\":\"step\""));
+        assert!(json.contains("\"ts\":1000,\"dur\":2000"));
+        assert!(json.contains("\"ts\":1000,\"dur\":500"));
+        assert!(json.contains("\"ts\":1500,\"dur\":1500"));
+        assert!(
+            json.contains("\"parent\":2"),
+            "children link to the parent event"
+        );
     }
 }

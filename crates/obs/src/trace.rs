@@ -44,6 +44,7 @@ struct Inner {
     next_id: AtomicU64,
     spans: Mutex<VecDeque<Span>>,
     capacity: usize,
+    dropped: AtomicU64,
 }
 
 /// The recorder: clone freely, all clones share one ring.
@@ -73,6 +74,7 @@ impl SpanRecorder {
                 next_id: AtomicU64::new(1),
                 spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
                 capacity,
+                dropped: AtomicU64::new(0),
             }),
         }
     }
@@ -138,9 +140,17 @@ impl SpanRecorder {
         let mut ring = self.inner.spans.lock().expect("span ring lock");
         if ring.len() == self.inner.capacity {
             ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(span);
         id
+    }
+
+    /// Spans evicted from the ring since creation — nonzero means the
+    /// exported trace is a truncated window, not the full history
+    /// (surfaced as `silo_obs_spans_dropped_total` on the daemon).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     /// Number of spans currently buffered.
@@ -245,6 +255,7 @@ mod tests {
         let names: Vec<String> = rec.snapshot().into_iter().map(|s| s.name).collect();
         assert_eq!(names, ["b", "c"]);
         assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1, "eviction is counted, not silent");
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub struct RowCache {
     max_entries: usize,
     /// Approximate entry count (exact while one daemon owns the dir).
     entries: AtomicU64,
+    /// Rows removed by cap enforcement since this cache was opened.
+    evictions: AtomicU64,
     /// Serializes evictions so concurrent writers don't scan twice.
     evict_lock: Mutex<()>,
 }
@@ -75,8 +77,14 @@ impl RowCache {
             root: root.to_path_buf(),
             max_entries,
             entries: AtomicU64::new(count),
+            evictions: AtomicU64::new(0),
             evict_lock: Mutex::new(()),
         })
+    }
+
+    /// Rows removed by cap enforcement since this cache was opened.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// The cache root directory.
@@ -236,6 +244,7 @@ impl RowCache {
         for (_, path) in rows.into_iter().take(excess) {
             if std::fs::remove_file(&path).is_ok() {
                 self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
                 if let Some(key) = path.file_stem().and_then(|s| s.to_str()) {
                     if let Some(events) = self.events_path_for(key) {
                         let _ = std::fs::remove_file(events);

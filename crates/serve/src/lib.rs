@@ -28,8 +28,11 @@
 //! |                          | epoch`), typed records interleaving epoch    |
 //! |                          | telemetry with rows                          |
 //! | `GET /status`            | Daemon counters (queue, compute, cache)      |
+//! | `GET /healthz`           | Liveness probe (no job-state lock taken)     |
 //! | `GET /metrics`           | Prometheus text exposition of daemon metrics |
 //! | `GET /trace`             | Request/job spans as Chrome trace-event JSON |
+//! | `GET /logs`              | Structured log tail as NDJSON                |
+//! |                          | (`?level=info&n=100`)                        |
 //! | `GET /version`           | Workspace version                            |
 //! | `POST /shutdown`         | Graceful shutdown (drain, journal persists)  |
 //!

@@ -23,10 +23,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use silo_obs::metrics::{Counter, Gauge, Histo, Registry};
-use silo_obs::SpanRecorder;
+use silo_obs::{EventLog, LogLevel, SpanRecorder};
 
 use crate::cache::RowCache;
 use crate::http;
@@ -65,6 +65,12 @@ pub struct ServeConfig {
     /// Maximum request/job spans kept in the trace ring (oldest
     /// evicted).
     pub trace_capacity: usize,
+    /// Append every structured log record as an NDJSON line to this
+    /// file (`GET /logs` serves the bounded in-memory tail either way).
+    pub log_out: Option<PathBuf>,
+    /// Maximum structured log records kept in the in-memory ring
+    /// (oldest evicted; the `log_out` file keeps everything).
+    pub log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +85,8 @@ impl Default for ServeConfig {
             resume: false,
             trace_out: None,
             trace_capacity: 4096,
+            log_out: None,
+            log_capacity: 4096,
         }
     }
 }
@@ -104,6 +112,12 @@ struct Metrics {
     run_us: Histo,
     /// `silo_serve_stream_bytes_total` — NDJSON bytes streamed.
     stream_bytes: Counter,
+    /// `silo_obs_spans_dropped_total` — spans evicted from the bounded
+    /// trace ring (synced from the recorder at scrape time).
+    spans_dropped: Counter,
+    /// `silo_serve_uptime_seconds` — seconds since the daemon started
+    /// (synced at scrape time).
+    uptime: Gauge,
 }
 
 impl Metrics {
@@ -113,6 +127,13 @@ impl Metrics {
             "silo_serve_requests_total",
             "HTTP requests handled, by endpoint and response status.",
         );
+        registry
+            .gauge_with(
+                "silo_build_info",
+                "Build metadata carried in labels; the value is always 1.",
+                &[("version", silo_types::VERSION)],
+            )
+            .set(1);
         Metrics {
             queue_depth: registry.gauge(
                 "silo_serve_queue_depth",
@@ -141,6 +162,14 @@ impl Metrics {
             stream_bytes: registry.counter(
                 "silo_serve_stream_bytes_total",
                 "Bytes streamed over /jobs/{id}/stream chunks.",
+            ),
+            spans_dropped: registry.counter(
+                "silo_obs_spans_dropped_total",
+                "Trace spans evicted from the bounded span ring.",
+            ),
+            uptime: registry.gauge(
+                "silo_serve_uptime_seconds",
+                "Seconds since the daemon started.",
             ),
             registry,
         }
@@ -245,6 +274,10 @@ struct Shared<E: JobEngine> {
     metrics: Metrics,
     /// Request/job lifecycle spans behind `GET /trace` / `--trace-out`.
     spans: SpanRecorder,
+    /// Structured event log behind `GET /logs` / `--log-out`.
+    log: EventLog,
+    /// Daemon start time, for the uptime gauge.
+    started: Instant,
 }
 
 impl<E: JobEngine> Shared<E> {
@@ -295,6 +328,11 @@ impl<E: JobEngine> ServerHandle<E> {
         self.shared.spans.chrome_json()
     }
 
+    /// The daemon's structured event log (the ring `GET /logs` serves).
+    pub fn log(&self) -> &EventLog {
+        &self.shared.log
+    }
+
     /// Blocks until the accept loop and all workers have exited, then
     /// writes the trace file if `trace_out` is configured.
     pub fn join(self) {
@@ -319,6 +357,10 @@ impl<E: JobEngine> ServerHandle<E> {
 pub fn start<E: JobEngine>(engine: E, cfg: ServeConfig) -> io::Result<ServerHandle<E>> {
     let cache = RowCache::open(&cfg.cache_dir, cfg.cache_cap)?;
     std::fs::create_dir_all(cfg.cache_dir.join(QUEUE_DIR))?;
+    let log = match &cfg.log_out {
+        Some(path) => EventLog::with_sink(cfg.log_capacity.max(1), path)?,
+        None => EventLog::new(cfg.log_capacity.max(1)),
+    };
     let listener = TcpListener::bind(&cfg.addr)?;
     let bound = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -339,8 +381,18 @@ pub fn start<E: JobEngine>(engine: E, cfg: ServeConfig) -> io::Result<ServerHand
         cache_hits: AtomicU64::new(0),
         metrics: Metrics::new(),
         spans: SpanRecorder::new(cfg.trace_capacity.max(1)),
+        log,
+        started: Instant::now(),
         cfg,
     });
+    shared.log.info(
+        "serve.daemon",
+        "listening",
+        &[
+            ("addr", &bound.to_string()),
+            ("workers", &shared.cfg.workers.to_string()),
+        ],
+    );
     if shared.cfg.resume {
         resume_journal(&shared);
     }
@@ -363,7 +415,13 @@ pub fn start<E: JobEngine>(engine: E, cfg: ServeConfig) -> io::Result<ServerHand
 }
 
 fn initiate_shutdown<E: JobEngine>(shared: &Shared<E>) {
-    shared.shutdown.store(true, Ordering::SeqCst);
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        shared.log.info(
+            "serve.daemon",
+            "drain initiated; running points finish, queued points stay journalled",
+            &[],
+        );
+    }
     shared.work_cv.notify_all();
     shared.row_cv.notify_all();
     // The accept loop blocks in `accept()`; poke it awake.
@@ -493,6 +551,15 @@ fn submit<E: JobEngine>(
             },
         );
         drop(st);
+        shared.log.info(
+            "serve.job",
+            "job complete at submission (all points cached)",
+            &[
+                ("job", &id.to_string()),
+                ("client", client),
+                ("points", &points.to_string()),
+            ],
+        );
         shared.row_cv.notify_all();
         return Ok(SubmitOutcome {
             id,
@@ -508,6 +575,11 @@ fn submit<E: JobEngine>(
         let entry = format!("client {client}\npriority {priority}\n\n{body}");
         std::fs::write(shared.journal_path(id), entry)
             .map_err(|e| SubmitError::Io(format!("journal write failed: {e}")))?;
+        shared.log.debug(
+            "serve.journal",
+            "job journalled ahead of execution",
+            &[("job", &id.to_string()), ("client", client)],
+        );
     }
     *st.active_jobs.entry(client.to_string()).or_insert(0) += 1;
     let enqueued_us = shared.spans.now_us();
@@ -550,6 +622,16 @@ fn submit<E: JobEngine>(
         },
     );
     drop(st);
+    shared.log.info(
+        "serve.job",
+        "job accepted",
+        &[
+            ("job", &id.to_string()),
+            ("client", client),
+            ("points", &points.to_string()),
+            ("cached", &cached.to_string()),
+        ],
+    );
     shared.work_cv.notify_all();
     Ok(SubmitOutcome {
         id,
@@ -579,6 +661,11 @@ fn resume_journal<E: JobEngine>(shared: &Shared<E>) {
         };
         let _ = std::fs::remove_file(&path);
         let Some((header, body)) = text.split_once("\n\n") else {
+            shared.log.warn(
+                "serve.journal",
+                "malformed journal entry skipped",
+                &[("source", &path.display().to_string())],
+            );
             eprintln!("silo-serve: skipping malformed journal {}", path.display());
             continue;
         };
@@ -592,15 +679,37 @@ fn resume_journal<E: JobEngine>(shared: &Shared<E>) {
             }
         }
         match submit(shared, client, priority, body, true) {
-            Ok(out) => eprintln!(
-                "silo-serve: resumed job {} ({} points, {} from cache)",
-                out.id, out.points, out.cached
-            ),
-            Err(e) => eprintln!(
-                "silo-serve: dropping journalled job from {}: {}",
-                path.display(),
-                e.message()
-            ),
+            Ok(out) => {
+                shared.log.info(
+                    "serve.journal",
+                    "journal replayed",
+                    &[
+                        ("job", &out.id.to_string()),
+                        ("points", &out.points.to_string()),
+                        ("cached", &out.cached.to_string()),
+                        ("source", &path.display().to_string()),
+                    ],
+                );
+                eprintln!(
+                    "silo-serve: resumed job {} ({} points, {} from cache)",
+                    out.id, out.points, out.cached
+                );
+            }
+            Err(e) => {
+                shared.log.warn(
+                    "serve.journal",
+                    "journalled job dropped",
+                    &[
+                        ("source", &path.display().to_string()),
+                        ("error", &e.message()),
+                    ],
+                );
+                eprintln!(
+                    "silo-serve: dropping journalled job from {}: {}",
+                    path.display(),
+                    e.message()
+                );
+            }
         }
     }
 }
@@ -683,15 +792,47 @@ fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
             .metrics
             .run_us
             .observe(t_run_end.saturating_sub(t_run));
+        match &result {
+            Ok(_) => shared.log.debug(
+                "serve.point",
+                "point computed",
+                &[
+                    ("job", &task.job.to_string()),
+                    ("point", &task.idx.to_string()),
+                    ("us", &t_run_end.saturating_sub(t_run).to_string()),
+                ],
+            ),
+            Err(e) => shared.log.error(
+                "serve.point",
+                "point failed",
+                &[
+                    ("job", &task.job.to_string()),
+                    ("point", &task.idx.to_string()),
+                    ("error", e),
+                ],
+            ),
+        }
         if let Ok(out) = &result {
             shared.computed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.cache_misses.inc();
             let t_write = spans.now_us();
+            let evicted_before = shared.cache.evictions();
             if let Err(e) = shared.cache.put(&task.key, &out.row) {
                 eprintln!("silo-serve: cache write failed for {}: {e}", task.key);
             }
             if let Err(e) = shared.cache.put_events(&task.key, &out.events) {
                 eprintln!("silo-serve: event write failed for {}: {e}", task.key);
+            }
+            let evicted = shared.cache.evictions().saturating_sub(evicted_before);
+            if evicted > 0 {
+                shared.log.warn(
+                    "serve.cache",
+                    "rows evicted to hold the cache cap",
+                    &[
+                        ("evicted", &evicted.to_string()),
+                        ("rows", &shared.cache.len().to_string()),
+                    ],
+                );
             }
             spans.record(
                 "cache-write",
@@ -718,7 +859,7 @@ fn worker_loop<E: JobEngine>(shared: &Shared<E>) {
 fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<PointOutput, String>) {
     let mut st = shared.lock_state();
     let subs = st.inflight.remove(key).unwrap_or_default();
-    let mut finished: Vec<(String, u64)> = Vec::new();
+    let mut finished: Vec<(String, u64, Option<String>)> = Vec::new();
     for (job_id, idx) in subs {
         let Some(job) = st.jobs.get_mut(&job_id) else {
             continue;
@@ -732,27 +873,41 @@ fn deliver<E: JobEngine>(shared: &Shared<E>, key: &str, result: &Result<PointOut
                 }
                 if job.done == job.rows.len() && matches!(job.phase, JobPhase::Active) {
                     job.phase = JobPhase::Complete;
-                    finished.push((job.client.clone(), job_id));
+                    finished.push((job.client.clone(), job_id, None));
                 }
             }
             Err(e) => {
                 if matches!(job.phase, JobPhase::Active) {
                     job.phase = JobPhase::Failed(e.clone());
-                    finished.push((job.client.clone(), job_id));
+                    finished.push((job.client.clone(), job_id, Some(e.clone())));
                 }
             }
         }
     }
-    for (client, id) in finished {
-        if let Some(n) = st.active_jobs.get_mut(&client) {
+    for (client, id, _) in &finished {
+        if let Some(n) = st.active_jobs.get_mut(client) {
             *n = n.saturating_sub(1);
             if *n == 0 {
-                st.active_jobs.remove(&client);
+                st.active_jobs.remove(client);
             }
         }
-        let _ = std::fs::remove_file(shared.journal_path(id));
+        let _ = std::fs::remove_file(shared.journal_path(*id));
     }
     drop(st);
+    for (client, id, error) in finished {
+        match error {
+            None => shared.log.info(
+                "serve.job",
+                "job complete",
+                &[("job", &id.to_string()), ("client", &client)],
+            ),
+            Some(e) => shared.log.error(
+                "serve.job",
+                "job failed",
+                &[("job", &id.to_string()), ("client", &client), ("error", &e)],
+            ),
+        }
+    }
     shared.row_cv.notify_all();
 }
 
@@ -822,8 +977,10 @@ fn endpoint_label(path: &str) -> &'static str {
     match segs.as_slice() {
         ["version"] => "/version",
         ["status"] => "/status",
+        ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
         ["trace"] => "/trace",
+        ["logs"] => "/logs",
         ["shutdown"] => "/shutdown",
         ["jobs"] => "/jobs",
         ["jobs", _] => "/jobs/{id}",
@@ -877,8 +1034,12 @@ fn route<E: JobEngine>(
             respond(ctx, w, 200, "application/json", &body)
         }
         ("GET", ["status"]) => handle_status(shared, ctx, w),
+        // Liveness only: answers without touching job state, so a wedged
+        // state mutex can't make the daemon look dead to a prober.
+        ("GET", ["healthz"]) => respond(ctx, w, 200, "text/plain", "ok\n"),
         ("GET", ["metrics"]) => handle_metrics(shared, ctx, w),
         ("GET", ["trace"]) => respond(ctx, w, 200, "application/json", &shared.spans.chrome_json()),
+        ("GET", ["logs"]) => handle_logs(shared, ctx, req, w),
         ("POST", ["jobs"]) => handle_submit(shared, ctx, req, w),
         ("GET", ["jobs", id]) => match id.parse::<u64>() {
             Ok(id) => handle_job_status(shared, ctx, id, w),
@@ -910,8 +1071,10 @@ fn route<E: JobEngine>(
                 p,
                 ["status"]
                     | ["version"]
+                    | ["healthz"]
                     | ["metrics"]
                     | ["trace"]
+                    | ["logs"]
                     | ["shutdown"]
                     | ["jobs"]
                     | ["jobs", _]
@@ -999,12 +1162,53 @@ fn handle_metrics<E: JobEngine>(
         .metrics
         .jobs_active
         .set(i64::try_from(jobs_active).unwrap_or(i64::MAX));
+    // The span recorder owns the authoritative eviction count; counters
+    // only go up, so apply the delta since the last scrape.
+    let dropped = shared.spans.dropped();
+    let seen = shared.metrics.spans_dropped.get();
+    if dropped > seen {
+        shared.metrics.spans_dropped.add(dropped - seen);
+    }
+    shared
+        .metrics
+        .uptime
+        .set(i64::try_from(shared.started.elapsed().as_secs()).unwrap_or(i64::MAX));
     respond(
         ctx,
         w,
         200,
         "text/plain; version=0.0.4",
         &shared.metrics.registry.render(),
+    )
+}
+
+/// Serves the structured log tail as NDJSON. `?level=` (default
+/// `info`) filters to that severity or above; `?n=` (default 100)
+/// bounds the record count.
+fn handle_logs<E: JobEngine>(
+    shared: &Shared<E>,
+    ctx: &ReqCtx<'_>,
+    req: &http::Request,
+    w: &mut impl Write,
+) -> io::Result<u16> {
+    let level = match req.query_param("level") {
+        None => LogLevel::Info,
+        Some(s) => match LogLevel::parse(s) {
+            Some(l) => l,
+            None => return error_response(ctx, w, 400, "bad level (debug|info|warn|error)"),
+        },
+    };
+    let n = match req.query_param("n").map(str::parse::<usize>) {
+        None => 100,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => return error_response(ctx, w, 400, "bad n"),
+    };
+    respond(
+        ctx,
+        w,
+        200,
+        "application/x-ndjson",
+        &shared.log.ndjson(level, n),
     )
 }
 

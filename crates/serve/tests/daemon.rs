@@ -677,6 +677,20 @@ fn metrics_exposition_is_valid_and_counters_move_across_a_job() {
         .contains("# TYPE silo_serve_requests_total counter"));
     assert!(before.body.contains("silo_serve_cache_misses_total 0"));
     assert!(before.body.contains("silo_serve_queue_depth 0"));
+    assert!(before.body.contains("silo_obs_spans_dropped_total 0"));
+    assert!(
+        before.body.contains(&format!(
+            "silo_build_info{{version=\"{}\"}} 1",
+            silo_types::VERSION
+        )),
+        "{}",
+        before.body
+    );
+    assert!(
+        before.body.contains("silo_serve_uptime_seconds"),
+        "{}",
+        before.body
+    );
 
     let id = job_id(&post(addr, "/jobs", "a", "name = metered\npoints = 3\n"));
     let _ = get(addr, &format!("/jobs/{id}/result"));
@@ -909,6 +923,177 @@ fn trace_out_writes_a_chrome_trace_on_shutdown() {
     let written = std::fs::read_to_string(&trace_path).expect("trace file");
     assert!(written.contains("\"traceEvents\":["), "{written}");
     assert!(written.contains("\"name\":\"run\""), "{written}");
+}
+
+#[test]
+fn healthz_is_alive_even_while_work_is_wedged() {
+    // A closed gate keeps the worker stuck inside run_point; liveness
+    // must not care (it answers without touching job state).
+    let gate = Gate::closed();
+    let (engine, _) = MockEngine::new(Arc::clone(&gate));
+    let server = start(engine, config("healthz")).expect("start");
+    let addr = server.addr();
+    let _ = post(addr, "/jobs", "a", "name = wedged\npoints = 1\n");
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+    assert!(health.headers.contains("text/plain"), "{}", health.headers);
+
+    gate.release();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn logs_capture_the_job_lifecycle_with_level_filter_and_pagination() {
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(engine, config("logs")).expect("start");
+    let addr = server.addr();
+    let id = job_id(&post(addr, "/jobs", "a", "name = logged\npoints = 2\n"));
+    let _ = get(addr, &format!("/jobs/{id}/result"));
+    let failed = job_id(&post(addr, "/jobs", "a", "name = explode\npoints = 1\n"));
+    while !get(addr, &format!("/jobs/{failed}"))
+        .body
+        .contains("\"state\":\"failed\"")
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Default tail: info and above, rendered as NDJSON records.
+    let logs = get(addr, "/logs");
+    assert_eq!(logs.status, 200);
+    assert!(
+        logs.headers.contains("application/x-ndjson"),
+        "{}",
+        logs.headers
+    );
+    for line in logs.body.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "bad NDJSON line: {line}"
+        );
+        assert!(line.contains("\"ts_us\":"), "{line}");
+        assert!(line.contains("\"level\":\""), "{line}");
+        assert!(line.contains("\"target\":\""), "{line}");
+    }
+    for msg in ["listening", "job accepted", "job complete", "job failed"] {
+        assert!(
+            logs.body.contains(&format!("\"msg\":\"{msg}\"")),
+            "missing '{msg}' in: {}",
+            logs.body
+        );
+    }
+    assert!(
+        !logs.body.contains("\"level\":\"debug\""),
+        "default tail must exclude debug: {}",
+        logs.body
+    );
+
+    // Level filter: debug adds per-point and journal records; error
+    // strips everything but the failure.
+    let debug = get(addr, "/logs?level=debug");
+    assert!(
+        debug.body.contains("\"msg\":\"point computed\""),
+        "{}",
+        debug.body
+    );
+    assert!(
+        debug
+            .body
+            .contains("\"msg\":\"job journalled ahead of execution\""),
+        "{}",
+        debug.body
+    );
+    let errors = get(addr, "/logs?level=error");
+    assert!(
+        errors.body.contains("\"msg\":\"job failed\""),
+        "{}",
+        errors.body
+    );
+    assert!(
+        !errors.body.contains("\"msg\":\"job accepted\""),
+        "{}",
+        errors.body
+    );
+
+    // Pagination: the tail keeps the most recent records.
+    let one = get(addr, "/logs?n=1");
+    assert_eq!(one.body.lines().count(), 1, "{}", one.body);
+
+    // Bad parameters are rejected.
+    assert_eq!(get(addr, "/logs?level=loud").status, 400);
+    assert_eq!(get(addr, "/logs?n=0").status, 400);
+    assert_eq!(get(addr, "/logs?n=nope").status, 400);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn resume_emits_journal_replay_log_events_and_log_out_persists_them() {
+    // A journal left by a killed daemon, plus one malformed entry that
+    // must be skipped with a warning.
+    let dir = temp_dir("resumelogs");
+    std::fs::create_dir_all(dir.join("queue")).expect("queue dir");
+    std::fs::write(
+        dir.join("queue/7.job"),
+        "client a\npriority 0\n\nname = replayed\npoints = 2\n",
+    )
+    .expect("journal entry");
+    std::fs::write(dir.join("queue/9.job"), "no header separator").expect("bad entry");
+    let log_path = dir.join("daemon-log.ndjson");
+
+    let (engine, _) = MockEngine::new(Gate::opened());
+    let server = start(
+        engine,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: dir.clone(),
+            resume: true,
+            log_out: Some(log_path.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+    let result = get(addr, "/jobs/1/result");
+    assert_eq!(result.status, 200, "{}", result.body);
+
+    let logs = get(addr, "/logs");
+    assert!(
+        logs.body.contains("\"msg\":\"journal replayed\""),
+        "{}",
+        logs.body
+    );
+    assert!(logs.body.contains("\"points\":\"2\""), "{}", logs.body);
+    let warnings = get(addr, "/logs?level=warn");
+    assert!(
+        warnings
+            .body
+            .contains("\"msg\":\"malformed journal entry skipped\""),
+        "{}",
+        warnings.body
+    );
+    assert!(warnings.body.contains("9.job"), "{}", warnings.body);
+
+    server.shutdown();
+    server.join();
+
+    // The sink file kept every record (including debug), NDJSON per line.
+    let written = std::fs::read_to_string(&log_path).expect("log file");
+    assert!(written.contains("\"msg\":\"listening\""), "{written}");
+    assert!(
+        written.contains("\"msg\":\"journal replayed\""),
+        "{written}"
+    );
+    assert!(written.contains("\"msg\":\"point computed\""), "{written}");
+    assert!(
+        written
+            .lines()
+            .all(|l| l.starts_with("{\"seq\":") && l.ends_with('}')),
+        "{written}"
+    );
 }
 
 #[test]

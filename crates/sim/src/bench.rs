@@ -45,6 +45,7 @@ pub const SCHEMA_HOTLOOP: &str = "silo-hotloop/v1";
 /// (`--profile-json`, rendered by [`profile_json`]).
 pub const SCHEMA_PROFILE: &str = "silo-profile/v1";
 
+pub mod gate;
 pub mod throughput;
 
 /// The swept dimensions. Single-element vectors degenerate to a classic
@@ -567,24 +568,46 @@ pub fn sweep_json(records: &[BenchRecord], seed: u64) -> Json {
     ])
 }
 
+/// One phase's entry in the `silo-profile/v1` run object; root phases
+/// additionally carry an additive `children` array with the same shape.
+fn profile_phase_obj(p: &PhaseProfile, i: usize) -> Vec<(String, Json)> {
+    vec![
+        ("name".into(), Json::Str(p.labels()[i].clone())),
+        ("ns".into(), Json::Int(p.nanos()[i] as i128)),
+        ("samples".into(), Json::Int(p.samples()[i] as i128)),
+        ("share".into(), Json::Num(p.share(i))),
+    ]
+}
+
 /// Renders the hot-loop phase profiles of a profiled sweep into the
-/// `silo-profile/v1` document: the phase list once at the top, then one
-/// entry per profiled run keyed by the point dimensions, with per-phase
-/// accumulated nanoseconds, sample counts, and time shares. Unprofiled
-/// runs contribute nothing.
+/// `silo-profile/v1` document: the root phase list once at the top,
+/// then one entry per profiled run keyed by the point dimensions, with
+/// per-phase accumulated nanoseconds, sample counts, and time shares.
+/// A root phase with lap-probe sub-attribution carries an additive
+/// `children` array of the same shape (children tile the parent, so
+/// their `ns` sum to the parent's). Unprofiled runs contribute nothing.
 pub fn profile_json(records: &[BenchRecord]) -> Json {
     let mut runs = Vec::new();
     for r in records {
         for run in &r.runs {
             let Some(p) = &run.profile else { continue };
-            let phases = (0..p.len())
+            let phases = p
+                .roots()
+                .into_iter()
                 .map(|i| {
-                    Json::Obj(vec![
-                        ("name".into(), Json::Str(p.labels()[i].clone())),
-                        ("ns".into(), Json::Int(p.nanos()[i] as i128)),
-                        ("samples".into(), Json::Int(p.samples()[i] as i128)),
-                        ("share".into(), Json::Num(p.share(i))),
-                    ])
+                    let mut obj = profile_phase_obj(p, i);
+                    let kids = p.children(i);
+                    if !kids.is_empty() {
+                        obj.push((
+                            "children".into(),
+                            Json::Arr(
+                                kids.into_iter()
+                                    .map(|c| Json::Obj(profile_phase_obj(p, c)))
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    Json::Obj(obj)
                 })
                 .collect();
             runs.push(Json::Obj(vec![
@@ -686,11 +709,18 @@ mod tests {
                 assert_eq!(ra.telemetry.recorder, rb.telemetry.recorder);
                 assert!(ra.profile.is_none());
                 let p = rb.profile.as_ref().expect("profiled run has a profile");
-                assert_eq!(p.labels(), &PROFILE_PHASES);
+                // Roots first, then the engine and timing sub-phases.
+                assert_eq!(p.labels()[..PROFILE_PHASES.len()], PROFILE_PHASES);
+                assert_eq!(p.labels().len(), crate::run::profile_phase_tree().len());
                 // 2 cores x 500 refs: one engine-step sample per ref.
                 assert_eq!(p.samples()[1], 1_000);
                 // Disabled meter: the telemetry phase never fires.
                 assert_eq!(p.samples()[3], 0);
+                // Lap-probe children tile their parents exactly.
+                for parent in [1, 2] {
+                    let kids: u64 = p.children(parent).iter().map(|&i| p.nanos()[i]).sum();
+                    assert_eq!(kids, p.nanos()[parent]);
+                }
             }
         }
         let doc = profile_json(&prof);
@@ -700,14 +730,27 @@ mod tests {
         );
         let runs = doc.get("runs").and_then(Json::as_arr).expect("runs");
         assert_eq!(runs.len(), 4, "2 points x 2 systems");
-        let shares: f64 = runs[0]
+        let phases = runs[0]
             .get("phases")
             .and_then(Json::as_arr)
-            .expect("phases")
+            .expect("phases");
+        assert_eq!(phases.len(), PROFILE_PHASES.len(), "top level lists roots");
+        let shares: f64 = phases
             .iter()
             .map(|p| p.get("share").and_then(Json::as_f64).expect("share"))
             .sum();
         assert!((shares - 1.0).abs() < 1e-9, "shares sum to 1, got {shares}");
+        // engine_step carries a children array whose ns tile the parent.
+        let engine = &phases[1];
+        let parent_ns = engine.get("ns").and_then(Json::as_i64).expect("ns");
+        let child_ns: i64 = engine
+            .get("children")
+            .and_then(Json::as_arr)
+            .expect("children")
+            .iter()
+            .map(|c| c.get("ns").and_then(Json::as_i64).expect("child ns"))
+            .sum();
+        assert_eq!(child_ns, parent_ns);
         // Unprofiled records render an empty runs array.
         let empty = profile_json(&plain);
         assert_eq!(

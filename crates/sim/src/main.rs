@@ -29,7 +29,17 @@ USAGE:
                                  --json PATH (append a snapshot to a
                                  silo-hotloop/v1 trajectory file),
                                  --compare PATH (print refs/sec deltas vs
-                                 the file's last snapshot)
+                                 the file's last snapshot),
+                                 --gate PATH (noise-aware perf gate:
+                                 repeat the matrix --gate-reps times
+                                 (default 5), take the median refs/sec
+                                 per row, and classify each row and the
+                                 geomean as pass/noise/regress against
+                                 the file's last matching snapshot with
+                                 a tolerance derived from the observed
+                                 rep spread; exit 1 on regress),
+                                 --gate-json PATH (write the
+                                 silo-gate/v1 verdict)
     silo-sim serve [OPTIONS]     simulation-as-a-service daemon: accept
                                  scenario submissions over HTTP, fan
                                  sweep points across a worker pool, and
@@ -42,8 +52,11 @@ USAGE:
                                  (blocks; full silo-bench/v1 JSON),
                                  GET /jobs/ID/stream (rows live as
                                  chunked NDJSON), GET /status,
-                                 GET /version, POST /shutdown (graceful:
-                                 running points finish, queued jobs stay
+                                 GET /healthz (liveness), GET /logs
+                                 (structured NDJSON log tail;
+                                 ?level=info&n=100), GET /version,
+                                 POST /shutdown (graceful: running
+                                 points finish, queued jobs stay
                                  journalled for --resume).
                                  Options: --addr HOST:PORT (default
                                  127.0.0.1:7878), --workers N (default
@@ -58,7 +71,10 @@ USAGE:
                                  --trace-out PATH (write a Chrome
                                  trace-event JSON of request/job spans on
                                  shutdown; GET /metrics and GET /trace
-                                 serve live telemetry either way)
+                                 serve live telemetry either way),
+                                 --log-out PATH (append every structured
+                                 log record to PATH as NDJSON; GET /logs
+                                 serves the bounded tail either way)
     silo-sim hash SCENARIO       print the canonical content hash of the
                                  resolved sweep: stable across scenario
                                  key reordering and whitespace, changed
@@ -118,11 +134,16 @@ OPTIONS:
                          and the run loop's cross-layer assertions
                          (MSHR bounds, counter monotonicity); results
                          stay bit-identical to an unchecked run
+    --log FILE           append structured NDJSON event records (run
+                         start, sweep done, outputs written) to FILE
     --profile            hot-loop self-profiler: sample per-phase
                          wall-clock (trace pull, engine step, timing,
-                         telemetry) for every run and print the phase
-                         table; results stay bit-identical to an
-                         unprofiled run (mutually exclusive with --check)
+                         telemetry) for every run, attribute engine and
+                         timing time to lap-probe sub-phases (lookup /
+                         directory / fill / writeback and mesh / bank /
+                         mshr), and print the phase tree; results stay
+                         bit-identical to an unprofiled run (mutually
+                         exclusive with --check)
     --profile-json PATH  write the per-run phase profiles as
                          silo-profile/v1 JSON (implies --profile)
     --profile-trace PATH write the merged phase profile as Chrome
@@ -169,6 +190,7 @@ struct Cli {
     warmup: Option<u64>,
     epoch: Option<u64>,
     check: Option<u64>,
+    log: Option<PathBuf>,
     profile: bool,
     profile_json: Option<PathBuf>,
     profile_trace: Option<PathBuf>,
@@ -291,6 +313,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Option<Cli>, ConfigE
             "--warmup" => cli.warmup = Some(parse_value("--warmup", args.next())?),
             "--epoch" => cli.epoch = Some(parse_value("--epoch", args.next())?),
             "--check" => cli.check = Some(parse_value("--check", args.next())?),
+            "--log" => {
+                let p: String = parse_value("--log", args.next())?;
+                cli.log = Some(PathBuf::from(p));
+            }
             "--profile" => cli.profile = true,
             "--profile-json" => {
                 let p: String = parse_value("--profile-json", args.next())?;
@@ -410,6 +436,7 @@ fn print_trace_info(path: &Path) -> Result<(), ConfigError> {
 /// (`BENCH_hotloop.json`); `--compare` prints per-cell deltas against
 /// the last snapshot of an existing trajectory.
 fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> {
+    use silo_sim::bench::gate;
     use silo_sim::bench::throughput;
 
     let mut refs: usize = 20_000;
@@ -417,6 +444,9 @@ fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
     let mut label: Option<String> = None;
     let mut json: Option<PathBuf> = None;
     let mut compare: Option<PathBuf> = None;
+    let mut gate_base: Option<PathBuf> = None;
+    let mut gate_reps: usize = gate::DEFAULT_GATE_REPS;
+    let mut gate_json_out: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--refs" => refs = parse_value("--refs", args.next())?,
@@ -429,11 +459,24 @@ fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
                     args.next(),
                 )?));
             }
+            "--gate" => {
+                gate_base = Some(PathBuf::from(parse_value::<String>("--gate", args.next())?));
+            }
+            "--gate-reps" => gate_reps = parse_value("--gate-reps", args.next())?,
+            "--gate-json" => {
+                gate_json_out = Some(PathBuf::from(parse_value::<String>(
+                    "--gate-json",
+                    args.next(),
+                )?));
+            }
             other => return Err(bad("bench argument", other, "unknown option")),
         }
     }
     if refs == 0 {
         return Err(bad("--refs", "0", "needs at least one reference per core"));
+    }
+    if gate_reps == 0 {
+        return Err(bad("--gate-reps", "0", "needs at least one repetition"));
     }
     let spec = throughput::ThroughputSpec::hotloop_matrix(refs);
     println!(
@@ -495,6 +538,71 @@ fn run_bench(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
             path.display()
         );
     }
+    if let Some(base_path) = &gate_base {
+        let snapshots = throughput::load_snapshots(base_path)?;
+        let Some(base) = gate::select_snapshot(&snapshots, &spec) else {
+            return Err(bad(
+                "--gate",
+                base_path.display().to_string(),
+                format!(
+                    "no snapshot matches the matrix (cores {}, refs/core {}, seed {})",
+                    spec.cores, spec.refs_per_core, spec.seed
+                ),
+            ));
+        };
+        // The matrix above is repetition 1; the rest run back to back at
+        // whole-matrix granularity, so host noise lands across every
+        // row's sample instead of concentrating in one row.
+        let mut reps = vec![rows];
+        while reps.len() < gate_reps {
+            println!("gate repetition {}/{gate_reps}...", reps.len() + 1);
+            reps.push(throughput::run_throughput(&spec, threads));
+        }
+        let report = gate::evaluate(&reps, base, gate::DEFAULT_MIN_TOLERANCE);
+        println!();
+        println!(
+            "perf gate vs '{}' ({} reps, median per row, tolerance from observed spread, floor {:.0}%):",
+            report.base_label,
+            report.reps,
+            100.0 * report.min_tolerance
+        );
+        println!(
+            "{:<16} {:<16} {:>12} {:>12} {:>7} {:>7} {:>8}",
+            "system", "workload", "base r/s", "median r/s", "ratio", "tol", "verdict"
+        );
+        for r in &report.rows {
+            println!(
+                "{:<16} {:<16} {:>12.0} {:>12.0} {:>6.2}x {:>6.1}% {:>8}",
+                r.system,
+                r.workload,
+                r.base_rps,
+                r.median_rps,
+                r.ratio,
+                100.0 * r.tolerance,
+                r.verdict.as_str()
+            );
+        }
+        println!(
+            "geomean {:.2}x (tolerance {:.1}%): {}",
+            report.geomean_ratio,
+            100.0 * report.geomean_tolerance,
+            report.verdict.as_str()
+        );
+        if let Some(path) = &gate_json_out {
+            let doc = format!("{}\n", gate::gate_json(&report));
+            std::fs::write(path, doc).map_err(|e| {
+                bad(
+                    "--gate-json",
+                    path.display().to_string(),
+                    format!("cannot write: {e}"),
+                )
+            })?;
+            println!("wrote {} verdict to {}", gate::SCHEMA_GATE, path.display());
+        }
+        if report.regressed() {
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 
@@ -519,6 +627,12 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
             "--trace-out" => {
                 cfg.trace_out = Some(PathBuf::from(parse_value::<String>(
                     "--trace-out",
+                    args.next(),
+                )?));
+            }
+            "--log-out" => {
+                cfg.log_out = Some(PathBuf::from(parse_value::<String>(
+                    "--log-out",
                     args.next(),
                 )?));
             }
@@ -557,7 +671,8 @@ fn run_serve(mut args: impl Iterator<Item = String>) -> Result<(), ConfigError> 
     );
     println!(
         "endpoints: POST /jobs, GET /jobs/ID[/result|/stream], GET /status, \
-         GET /metrics, GET /trace, GET /version, POST /shutdown"
+         GET /healthz, GET /metrics, GET /trace, GET /logs, GET /version, \
+         POST /shutdown"
     );
     handle.join();
     println!("silo-serve: drained and stopped");
@@ -900,6 +1015,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let log = cli.log.as_ref().map(|path| {
+        silo_obs::EventLog::with_sink(1024, path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open log {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
 
     let spec = sim.spec();
     if let Some(dir) = &cli.record_traces {
@@ -926,11 +1047,30 @@ fn main() {
         || spec.scales.len() > 1
         || spec.mlps.len() > 1
         || spec.vaults.len() > 1;
+    if let Some(log) = &log {
+        log.info(
+            "sim.run",
+            "run started",
+            &[
+                ("mode", if sweep_mode { "sweep" } else { "classic" }),
+                ("points", &spec.points().len().to_string()),
+                ("systems", &spec.systems.len().to_string()),
+                ("seed", &spec.seed.to_string()),
+            ],
+        );
+    }
     let records = if sweep_mode {
         run_sweep_mode(&sim)
     } else {
         run_classic_mode(&sim)
     };
+    if let Some(log) = &log {
+        log.info(
+            "sim.run",
+            "run complete",
+            &[("points", &records.len().to_string())],
+        );
+    }
 
     if let Some(path) = &cli.json {
         if let Err(e) = bench::write_json_file(path, &records, spec.seed) {
@@ -938,6 +1078,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {} points to {}", records.len(), path.display());
+        if let Some(log) = &log {
+            log.info(
+                "sim.output",
+                "bench json written",
+                &[("path", &path.display().to_string())],
+            );
+        }
     }
     if let Some(path) = &cli.timeline {
         match silo_sim::write_timeline_csv(path, &records) {
@@ -979,8 +1126,10 @@ fn main() {
     }
 }
 
-/// Prints the merged hot-loop phase profile: one row per phase with
-/// accumulated wall-clock, sample count, and share of the total.
+/// Prints the merged hot-loop phase profile as a tree: one row per root
+/// phase with accumulated wall-clock, sample count, and share of the
+/// total, and the lap-probe sub-phases indented under their parent
+/// (their wall-clock sums to the parent's — the probes tile it exactly).
 fn print_profile(records: &[BenchRecord]) {
     let Some(p) = bench::merged_profile(records) else {
         return;
@@ -988,17 +1137,23 @@ fn print_profile(records: &[BenchRecord]) {
     println!();
     println!("hot-loop profile (all runs merged):");
     println!(
-        "{:<12} {:>12} {:>12} {:>7}",
+        "{:<13} {:>12} {:>12} {:>7}",
         "phase", "wall(ms)", "samples", "share"
     );
-    for i in 0..p.len() {
+    let row = |p: &silo_obs::PhaseProfile, i: usize, indent: &str| {
         println!(
-            "{:<12} {:>12.2} {:>12} {:>6.1}%",
-            p.labels()[i],
+            "{:<13} {:>12.2} {:>12} {:>6.1}%",
+            format!("{indent}{}", p.labels()[i]),
             p.nanos()[i] as f64 / 1e6,
             p.samples()[i],
             100.0 * p.share(i)
         );
+    };
+    for i in p.roots() {
+        row(&p, i, "");
+        for c in p.children(i) {
+            row(&p, c, "  ");
+        }
     }
 }
 

@@ -22,13 +22,13 @@
 //! utilization, and vault occupancy every `epoch_refs` references.
 
 use crate::config::SystemConfig;
-use crate::timing::TimingModel;
+use crate::timing::{TimingModel, TimingProbe, TIMING_SUBPHASES, TP_MSHR};
 use crate::workload::WorkloadSpec;
 use silo_coherence::{
-    AccessResult, CoherenceStats, PrivateMoesi, PrivateMoesiConfig, ServedBy, SharedMesi,
-    SharedMesiConfig,
+    AccessResult, CoherenceStats, EngineProbe, PrivateMoesi, PrivateMoesiConfig, ServedBy,
+    SharedMesi, SharedMesiConfig, ENGINE_SUBPHASES, EP_DIR,
 };
-use silo_obs::PhaseProfile;
+use silo_obs::{Lap, PhaseProfile};
 use silo_telemetry::{EpochEnv, MeterConfig, Recorder, ServiceLevel, Telemetry, Timeline};
 use silo_trace::{SliceTrace, TraceSource};
 use silo_types::stats::{ratio, Counter, Histogram};
@@ -46,6 +46,23 @@ pub trait Protocol {
     /// it with their allocation-free paths.
     fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
         *out = self.access(core, mr);
+    }
+    /// [`Protocol::access_into`] with sub-phase wall-clock attribution
+    /// for the profiled run path: the engine laps its internal segments
+    /// (lookup, directory, fill, writeback) into `probe` as it goes.
+    /// The default attributes the whole access to the directory bucket,
+    /// so custom engines still show up in the profile tree without
+    /// implementing lap placement.
+    fn access_into_probed(
+        &mut self,
+        core: usize,
+        mr: MemRef,
+        out: &mut AccessResult,
+        probe: &mut EngineProbe,
+    ) {
+        probe.begin();
+        self.access_into(core, mr, out);
+        probe.lap(EP_DIR);
     }
     /// Hints that `core` will access `line` shortly (the run loop issues
     /// this one round-robin turn ahead of the matching
@@ -82,6 +99,16 @@ impl Protocol for PrivateMoesi {
         PrivateMoesi::access_into(self, core, mr, out);
     }
     #[inline]
+    fn access_into_probed(
+        &mut self,
+        core: usize,
+        mr: MemRef,
+        out: &mut AccessResult,
+        probe: &mut EngineProbe,
+    ) {
+        PrivateMoesi::access_into_probed(self, core, mr, out, probe);
+    }
+    #[inline]
     fn prefetch(&self, core: usize, mr: MemRef) {
         self.prefetch_hint(core, mr.line);
     }
@@ -106,6 +133,16 @@ impl Protocol for SharedMesi {
     #[inline]
     fn access_into(&mut self, core: usize, mr: MemRef, out: &mut AccessResult) {
         SharedMesi::access_into(self, core, mr, out);
+    }
+    #[inline]
+    fn access_into_probed(
+        &mut self,
+        core: usize,
+        mr: MemRef,
+        out: &mut AccessResult,
+        probe: &mut EngineProbe,
+    ) {
+        SharedMesi::access_into_probed(self, core, mr, out, probe);
     }
     #[inline]
     fn prefetch(&self, _core: usize, mr: MemRef) {
@@ -155,6 +192,20 @@ impl Protocol for AnyEngine {
             AnyEngine::Silo(e) => PrivateMoesi::access_into(e, core, mr, out),
             AnyEngine::Baseline(e) => SharedMesi::access_into(e, core, mr, out),
             AnyEngine::Custom(e) => e.access_into(core, mr, out),
+        }
+    }
+    #[inline]
+    fn access_into_probed(
+        &mut self,
+        core: usize,
+        mr: MemRef,
+        out: &mut AccessResult,
+        probe: &mut EngineProbe,
+    ) {
+        match self {
+            AnyEngine::Silo(e) => PrivateMoesi::access_into_probed(e, core, mr, out, probe),
+            AnyEngine::Baseline(e) => SharedMesi::access_into_probed(e, core, mr, out, probe),
+            AnyEngine::Custom(e) => e.access_into_probed(core, mr, out, probe),
         }
     }
     #[inline]
@@ -227,6 +278,27 @@ const PH_ENGINE: usize = 1;
 const PH_TIMING: usize = 2;
 /// Index of `telemetry` in [`PROFILE_PHASES`].
 const PH_TELEMETRY: usize = 3;
+
+/// Index of the first engine sub-phase in the profiled phase tree (the
+/// [`ENGINE_SUBPHASES`] buckets, children of `engine_step`).
+const PH_ENGINE_CHILD0: usize = PROFILE_PHASES.len();
+/// Index of the first timing sub-phase in the profiled phase tree (the
+/// [`TIMING_SUBPHASES`] buckets, children of `timing`).
+const PH_TIMING_CHILD0: usize = PH_ENGINE_CHILD0 + ENGINE_SUBPHASES.len();
+
+/// The profiled run's full phase tree: the four [`PROFILE_PHASES`]
+/// roots, then the [`ENGINE_SUBPHASES`] as children of `engine_step`,
+/// then the [`TIMING_SUBPHASES`] as children of `timing`. Each
+/// sub-phase group tiles its parent exactly — the lap probes take one
+/// clock read per segment boundary, so children sum to the parent by
+/// construction.
+pub fn profile_phase_tree() -> Vec<(&'static str, Option<usize>)> {
+    let mut tree: Vec<(&'static str, Option<usize>)> =
+        PROFILE_PHASES.iter().map(|&l| (l, None)).collect();
+    tree.extend(ENGINE_SUBPHASES.iter().map(|&l| (l, Some(PH_ENGINE))));
+    tree.extend(TIMING_SUBPHASES.iter().map(|&l| (l, Some(PH_TIMING))));
+    tree
+}
 
 /// Nanoseconds since `t`, saturating at `u64::MAX`.
 #[inline]
@@ -737,12 +809,14 @@ pub fn run_metered_source<P: Protocol + ?Sized>(
 
 /// [`run_metered_source`] with the hot-loop self-profiler enabled: each
 /// of the [`PROFILE_PHASES`] is wall-clock sampled per reference (trace
-/// pull per round) and the accumulated [`PhaseProfile`] is returned
-/// alongside the results. Profiling only reads the monotonic clock — it
-/// never touches simulated state — so the returned statistics and
-/// telemetry are **bit-identical** to [`run_metered_source`]. The
-/// unprofiled path is a separate monomorphization with every clock read
-/// compiled out, so leaving `--profile` off costs nothing.
+/// pull per round), the engine and timing phases are further attributed
+/// to the [`profile_phase_tree`] sub-phases by lap probes, and the
+/// accumulated hierarchical [`PhaseProfile`] is returned alongside the
+/// results. Profiling only reads the monotonic clock — it never touches
+/// simulated state — so the returned statistics and telemetry are
+/// **bit-identical** to [`run_metered_source`]. The unprofiled path is
+/// a separate monomorphization with every clock read compiled out, so
+/// leaving `--profile` off costs nothing.
 pub fn run_metered_source_profiled<P: Protocol + ?Sized>(
     engine: &mut P,
     timing: &mut TimingModel,
@@ -751,7 +825,7 @@ pub fn run_metered_source_profiled<P: Protocol + ?Sized>(
     source: &mut dyn TraceSource,
     meter: &MeterConfig,
 ) -> (RunStats, Telemetry, PhaseProfile) {
-    let mut profile = PhaseProfile::new(&PROFILE_PHASES);
+    let mut profile = PhaseProfile::with_tree(&profile_phase_tree());
     match run_core::<P, false, true>(
         engine,
         timing,
@@ -843,6 +917,12 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
     // `access_into`, reusing the step vectors instead of allocating two
     // per reference.
     let mut res = AccessResult::default();
+    // Lap probes for the profiled path: the engine laps its internal
+    // segments, the timing phase laps mesh/bank/MSHR work. Folded into
+    // `profile` once after the loop; untouched (and compiled out of the
+    // hot path) when PROFILED is false.
+    let mut eprobe = EngineProbe::new();
+    let mut tprobe = TimingProbe::new();
 
     let mut exhausted = vec![false; cfg.cores];
     let mut live = cfg.cores;
@@ -885,17 +965,22 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
                 core.instructions += instructions;
                 core.cursor += Cycles(instructions);
 
-                let t = PROFILED.then(Instant::now);
-                engine.access_into(c, mr, &mut res);
-                if let Some(t) = t {
-                    profile.add(PH_ENGINE, elapsed_ns(t));
+                if PROFILED {
+                    engine.access_into_probed(c, mr, &mut res, &mut eprobe);
+                } else {
+                    engine.access_into(c, mr, &mut res);
                 }
                 served_by = res.served_by();
                 served.record(served_by);
-                let t = PROFILED.then(Instant::now);
+                if PROFILED {
+                    tprobe.begin();
+                }
                 if !res.llc_access {
                     // SRAM hit: absorbed by the pipeline at base CPI.
                     core.finish = core.finish.max(core.cursor);
+                    if PROFILED {
+                        tprobe.lap(TP_MSHR);
+                    }
                 } else {
                     llc_accesses += 1;
 
@@ -908,8 +993,15 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
                     };
                     core.mshrs.drop_completed(issue);
                     let issue = core.mshrs.acquire(issue);
+                    if PROFILED {
+                        tprobe.lap(TP_MSHR);
+                    }
 
-                    let done = timing.charge(issue, &res);
+                    let done = if PROFILED {
+                        timing.charge_probed(issue, &res, &mut tprobe)
+                    } else {
+                        timing.charge(issue, &res)
+                    };
                     let lat = (done - issue).as_u64();
                     llc.record(lat);
                     latency = Some(lat);
@@ -920,9 +1012,9 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
                         // The pipeline stalls behind a serialised miss.
                         core.cursor = core.cursor.max(done);
                     }
-                }
-                if let Some(t) = t {
-                    profile.add(PH_TIMING, elapsed_ns(t));
+                    if PROFILED {
+                        tprobe.lap(TP_MSHR);
+                    }
                 }
             }
 
@@ -967,6 +1059,21 @@ fn run_core<P: Protocol + ?Sized, const CHECKED: bool, const PROFILED: bool>(
         );
     }
     timeline.finish(&epoch_env(&cores, timing, meter));
+
+    if PROFILED {
+        // Fold the lap-probe buckets into the hierarchical profile: each
+        // child gets its accumulated bucket, each parent the probe's
+        // total — so children sum to the parent exactly, and the parent
+        // sample count is the number of probed calls (one per access).
+        for (i, (&ns, &n)) in eprobe.nanos().iter().zip(eprobe.samples()).enumerate() {
+            profile.add_bulk(PH_ENGINE_CHILD0 + i, ns, n);
+        }
+        profile.add_bulk(PH_ENGINE, eprobe.total_nanos(), eprobe.calls());
+        for (i, (&ns, &n)) in tprobe.nanos().iter().zip(tprobe.samples()).enumerate() {
+            profile.add_bulk(PH_TIMING_CHILD0 + i, ns, n);
+        }
+        profile.add_bulk(PH_TIMING, tprobe.total_nanos(), tprobe.calls());
+    }
 
     let mesh = timing.mesh();
     let mesh_messages = mesh.messages() - base.mesh_messages;
@@ -1194,6 +1301,43 @@ mod tests {
             s.ipc(),
             cfg.cores
         );
+    }
+
+    #[test]
+    fn profiled_subphases_tile_their_parents_exactly() {
+        // The lap probes take one clock read per segment boundary, so
+        // the engine and timing children must sum to their parent to the
+        // nanosecond — no gaps, no double counting (the ISSUE's 5%
+        // budget is met by construction).
+        let cfg = SystemConfig::paper_16core().with_cores(8);
+        let spec = WorkloadSpec {
+            refs_per_core: 2_000,
+            ..WorkloadSpec::zipf_shared()
+        };
+        let mut engine = silo_engine(&cfg, true);
+        let mut timing = TimingModel::silo(&cfg);
+        let mut source = spec.source(cfg.cores, cfg.scale, 5).expect("source");
+        let (stats, _tel, p) = run_metered_source_profiled(
+            &mut engine,
+            &mut timing,
+            &cfg,
+            &spec.name,
+            &mut *source,
+            &MeterConfig::default(),
+        );
+        assert_eq!(p.labels().len(), profile_phase_tree().len());
+        let engine_children: u64 = p.children(PH_ENGINE).iter().map(|&i| p.nanos()[i]).sum();
+        assert_eq!(engine_children, p.nanos()[PH_ENGINE]);
+        let timing_children: u64 = p.children(PH_TIMING).iter().map(|&i| p.nanos()[i]).sum();
+        assert_eq!(timing_children, p.nanos()[PH_TIMING]);
+        // One probed engine call and one timing pass per reference.
+        assert_eq!(p.samples()[PH_ENGINE], 8 * 2_000);
+        assert_eq!(p.samples()[PH_TIMING], 8 * 2_000);
+        // Every access goes through the lookup bucket at least once.
+        assert!(p.nanos()[PH_ENGINE_CHILD0] > 0);
+        // Profiling must not perturb the simulation.
+        let unprofiled = run_silo(&cfg, &spec, 5);
+        assert_eq!(stats, unprofiled);
     }
 
     #[test]
